@@ -1,0 +1,386 @@
+// Package repro_test holds the benchmark harness: one testing.B benchmark
+// per table/figure of the paper's evaluation. The benchmarks report
+// simulated-workload metrics (IOPS, ops/s, Tx/s, µs latency, context
+// switches) via b.ReportMetric; wall-clock ns/op measures simulator speed,
+// not storage performance.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/oltp"
+	"repro/internal/sim"
+	"repro/internal/sqlmini"
+	"repro/internal/workload"
+)
+
+// BenchmarkFig1 sweeps the seven devices of Fig. 1, reporting the
+// ordered/buffered IOPS ratio.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < device.NumFig1Devices; i++ {
+		i := i
+		cfg := device.Fig1Device(i)
+		b.Run(cfg.Name, func(b *testing.B) {
+			var ratio, buffered float64
+			for n := 0; n < b.N; n++ {
+				res := experiments.Fig1Device(i)
+				ratio, buffered = res.RatioPercent, res.BufferedIOPS
+			}
+			b.ReportMetric(ratio, "ordered/buffered-%")
+			b.ReportMetric(buffered, "buffered-IOPS")
+		})
+	}
+}
+
+// BenchmarkFig9 runs the 4KB random-write matrix.
+func BenchmarkFig9(b *testing.B) {
+	devices := map[string]func() device.Config{
+		"UFS": device.UFS, "plainSSD": device.PlainSSD, "supercapSSD": device.SupercapSSD,
+	}
+	for devName, dev := range devices {
+		for _, po := range []workload.Policy{workload.PolicyXnF, workload.PolicyX, workload.PolicyB, workload.PolicyP} {
+			po := po
+			dev := dev
+			b.Run(fmt.Sprintf("%s/%s", devName, po), func(b *testing.B) {
+				var last workload.RandWriteResult
+				for n := 0; n < b.N; n++ {
+					last = randWriteOnce(dev(), po)
+				}
+				b.ReportMetric(last.IOPS, "IOPS")
+				b.ReportMetric(last.MeanQD, "meanQD")
+			})
+		}
+	}
+}
+
+func randWriteOnce(cfg device.Config, po workload.Policy) workload.RandWriteResult {
+	var prof core.Profile
+	switch po {
+	case workload.PolicyXnF:
+		prof = core.EXT4DR(cfg)
+	case workload.PolicyX:
+		prof = core.EXT4OD(cfg)
+	case workload.PolicyB:
+		prof = core.BFSOD(cfg)
+	default:
+		prof = core.EXT4OD(cfg)
+	}
+	k := sim.NewKernel()
+	defer k.Close()
+	s := core.NewStack(k, prof)
+	wcfg := workload.DefaultRandWrite(po)
+	wcfg.Duration = 60 * sim.Millisecond
+	wcfg.Warmup = 10 * sim.Millisecond
+	wcfg.FilePages = 512
+	return workload.RandWrite(k, s, wcfg)
+}
+
+// BenchmarkTable1 measures fsync latency on each (device, filesystem) pair;
+// each b.N iteration is one write+fsync in virtual time.
+func BenchmarkTable1(b *testing.B) {
+	cases := []struct {
+		name string
+		prof core.Profile
+	}{
+		{"UFS/EXT4", core.EXT4DR(device.UFS())},
+		{"UFS/BFS", core.BFSDR(device.UFS())},
+		{"plainSSD/EXT4", core.EXT4DR(device.PlainSSD())},
+		{"plainSSD/BFS", core.BFSDR(device.PlainSSD())},
+		{"supercapSSD/EXT4", core.EXT4DR(device.SupercapSSD())},
+		{"supercapSSD/BFS", core.BFSDR(device.SupercapSSD())},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			k := sim.NewKernel()
+			defer k.Close()
+			s := core.NewStack(k, c.prof)
+			rec := metrics.NewLatencyRecorder(c.name)
+			k.Spawn("app", func(p *sim.Proc) {
+				f, err := s.FS.Create(p, s.FS.Root(), "bench.dat")
+				if err != nil {
+					panic(err)
+				}
+				for i := 0; i < b.N; i++ {
+					s.FS.Write(p, f, int64(i))
+					t0 := p.Now()
+					s.FS.Fsync(p, f)
+					rec.Record(sim.Duration(p.Now() - t0))
+				}
+				k.Stop()
+			})
+			k.Run()
+			b.ReportMetric(rec.Mean().Micros(), "sim-µs/fsync")
+			b.ReportMetric(rec.Percentile(99).Micros(), "sim-µs/p99")
+		})
+	}
+}
+
+// BenchmarkFig11 reports voluntary context switches per sync call.
+func BenchmarkFig11(b *testing.B) {
+	cases := []struct {
+		name string
+		prof core.Profile
+	}{
+		{"EXT4-DR", core.EXT4DR(device.UFS())},
+		{"BFS-DR", core.BFSDR(device.UFS())},
+		{"EXT4-OD", core.EXT4OD(device.UFS())},
+		{"BFS-OD", core.BFSOD(device.UFS())},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			k := sim.NewKernel()
+			defer k.Close()
+			s := core.NewStack(k, c.prof)
+			meter := metrics.NewSwitchMeter(c.name)
+			k.Spawn("app", func(p *sim.Proc) {
+				f, err := s.FS.Create(p, s.FS.Root(), "bench.dat")
+				if err != nil {
+					panic(err)
+				}
+				s.FS.Write(p, f, 0)
+				s.FS.Fsync(p, f)
+				for i := 0; i < b.N; i++ {
+					s.FS.Write(p, f, 0)
+					meter.Begin(p)
+					s.Sync(p, f)
+					meter.End(p)
+				}
+				k.Stop()
+			})
+			k.Run()
+			b.ReportMetric(meter.PerOp(), "switches/op")
+		})
+	}
+}
+
+// BenchmarkFig12 reports peak queue depth under fsync vs fbarrier.
+func BenchmarkFig12(b *testing.B) {
+	var res experiments.Fig12Result
+	for n := 0; n < b.N; n++ {
+		res = experiments.Fig12(experiments.Quick)
+	}
+	b.ReportMetric(res.FsyncPeakQD, "fsync-peakQD")
+	b.ReportMetric(res.FbarrierPeakQD, "fbarrier-peakQD")
+}
+
+// BenchmarkFig10 reports the mean queue depth of the two Fig. 10 modes.
+func BenchmarkFig10(b *testing.B) {
+	var rs []experiments.Fig10Result
+	for n := 0; n < b.N; n++ {
+		rs = experiments.Fig10(experiments.Quick)
+	}
+	b.ReportMetric(rs[0].XMeanQD, "WoT-meanQD")
+	b.ReportMetric(rs[0].BMeanQD, "barrier-meanQD")
+}
+
+// BenchmarkFig8 reports the inter-commit interval of the four journaling
+// modes.
+func BenchmarkFig8(b *testing.B) {
+	var res experiments.Fig8Result
+	for n := 0; n < b.N; n++ {
+		res = experiments.Fig8(experiments.Quick)
+	}
+	units := []string{"barrierfs-µs", "noflush-µs", "quickflush-µs", "fullflush-µs"}
+	for i, row := range res.Rows {
+		b.ReportMetric(row.IntervalUs, units[i])
+	}
+}
+
+// BenchmarkFig13 runs the DWSL scalability points.
+func BenchmarkFig13(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		prof func(device.Config) core.Profile
+	}{{"EXT4-DR", core.EXT4DR}, {"BFS-DR", core.BFSDR}} {
+		for _, th := range []int{1, 4, 8} {
+			mk, th := mk, th
+			b.Run(fmt.Sprintf("%s/threads=%d", mk.name, th), func(b *testing.B) {
+				var ops float64
+				for n := 0; n < b.N; n++ {
+					k := sim.NewKernel()
+					s := core.NewStack(k, mk.prof(device.PlainSSD()))
+					cfg := workload.DefaultDWSL(th)
+					cfg.Duration = 60 * sim.Millisecond
+					cfg.Warmup = 10 * sim.Millisecond
+					ops = workload.DWSL(k, s, cfg).OpsPerS
+					k.Close()
+				}
+				b.ReportMetric(ops, "ops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 runs the SQLite matrix.
+func BenchmarkFig14(b *testing.B) {
+	cases := []struct {
+		name string
+		prof core.Profile
+		mode sqlmini.JournalMode
+		dur  sqlmini.Durability
+	}{
+		{"UFS/EXT4-DR/persist", core.EXT4DR(device.UFS()), sqlmini.Persist, sqlmini.Durable},
+		{"UFS/BFS-DR/persist", core.BFSDR(device.UFS()), sqlmini.Persist, sqlmini.Durable},
+		{"UFS/EXT4-DR/wal", core.EXT4DR(device.UFS()), sqlmini.WAL, sqlmini.Durable},
+		{"UFS/BFS-DR/wal", core.BFSDR(device.UFS()), sqlmini.WAL, sqlmini.Durable},
+		{"plainSSD/EXT4-OD/persist", core.EXT4OD(device.PlainSSD()), sqlmini.Persist, sqlmini.OrderingOnly},
+		{"plainSSD/OptFS/persist", core.OptFS(device.PlainSSD()), sqlmini.Persist, sqlmini.OrderingOnly},
+		{"plainSSD/BFS-OD/persist", core.BFSOD(device.PlainSSD()), sqlmini.Persist, sqlmini.OrderingOnly},
+		{"plainSSD/EXT4-DR/persist", core.EXT4DR(device.PlainSSD()), sqlmini.Persist, sqlmini.Durable},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var tx float64
+			for n := 0; n < b.N; n++ {
+				k := sim.NewKernel()
+				s := core.NewStack(k, c.prof)
+				tx = sqlmini.Bench(k, s, sqlmini.DefaultConfig(c.mode, c.dur), 60*sim.Millisecond).TxPerSec
+				k.Close()
+			}
+			b.ReportMetric(tx, "Tx/s")
+		})
+	}
+}
+
+// BenchmarkFig15 runs varmail and OLTP-insert across the five stacks.
+func BenchmarkFig15(b *testing.B) {
+	profiles := []struct {
+		name string
+		mk   func(device.Config) core.Profile
+	}{
+		{"EXT4-DR", core.EXT4DR}, {"BFS-DR", core.BFSDR}, {"OptFS", core.OptFS},
+		{"EXT4-OD", core.EXT4OD}, {"BFS-OD", core.BFSOD},
+	}
+	for _, pr := range profiles {
+		pr := pr
+		b.Run("varmail/"+pr.name, func(b *testing.B) {
+			var ops float64
+			for n := 0; n < b.N; n++ {
+				k := sim.NewKernel()
+				s := core.NewStack(k, pr.mk(device.PlainSSD()))
+				cfg := workload.DefaultVarmail()
+				cfg.Threads, cfg.Files = 8, 32
+				cfg.Duration, cfg.Warmup = 60*sim.Millisecond, 10*sim.Millisecond
+				ops = workload.Varmail(k, s, cfg).OpsPerS
+				k.Close()
+			}
+			b.ReportMetric(ops, "ops/s")
+		})
+		b.Run("oltp/"+pr.name, func(b *testing.B) {
+			var tx float64
+			for n := 0; n < b.N; n++ {
+				k := sim.NewKernel()
+				s := core.NewStack(k, pr.mk(device.PlainSSD()))
+				cfg := oltp.DefaultConfig()
+				cfg.Clients = 4
+				tx = oltp.Bench(k, s, cfg, 60*sim.Millisecond).TxPerSec
+				k.Close()
+			}
+			b.ReportMetric(tx, "Tx/s")
+		})
+	}
+}
+
+// BenchmarkSimKernel measures raw simulator event throughput (ablation: the
+// substrate's own cost).
+func BenchmarkSimKernel(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	k.Spawn("ticker", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(sim.Microsecond)
+		}
+		k.Stop()
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkAblationBarrierCommand compares the paper's barrier-as-flag
+// design against encoding the barrier as a standalone command (§3.2): the
+// command form pays a queue slot and an extra dispatch per epoch.
+func BenchmarkAblationBarrierCommand(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		asCommand bool
+	}{{"flag", false}, {"command", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var iops float64
+			for n := 0; n < b.N; n++ {
+				prof := core.BFSOD(device.UFS())
+				prof.BarrierAsCommand = mode.asCommand
+				k := sim.NewKernel()
+				s := core.NewStack(k, prof)
+				cfg := workload.DefaultRandWrite(workload.PolicyB)
+				cfg.Duration, cfg.Warmup, cfg.FilePages = 60*sim.Millisecond, 10*sim.Millisecond, 512
+				iops = workload.RandWrite(k, s, cfg).IOPS
+				k.Close()
+			}
+			b.ReportMetric(iops, "IOPS")
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares base IO schedulers under the epoch
+// scheduler for the DWSL workload.
+func BenchmarkAblationScheduler(b *testing.B) {
+	for _, sc := range []struct {
+		name string
+		kind core.SchedKind
+	}{{"noop", core.SchedNOOP}, {"cfq", core.SchedCFQ}, {"deadline", core.SchedDeadline}} {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			var ops float64
+			for n := 0; n < b.N; n++ {
+				prof := core.BFSDR(device.PlainSSD())
+				prof.Sched = sc.kind
+				k := sim.NewKernel()
+				s := core.NewStack(k, prof)
+				cfg := workload.DefaultDWSL(4)
+				cfg.Duration, cfg.Warmup = 60*sim.Millisecond, 10*sim.Millisecond
+				ops = workload.DWSL(k, s, cfg).OpsPerS
+				k.Close()
+			}
+			b.ReportMetric(ops, "ops/s")
+		})
+	}
+}
+
+// BenchmarkAblationDualVsSingleFlush isolates Dual-Mode journaling: same
+// device, same workload, JBD2 vs Dual engines under durability.
+func BenchmarkAblationDualVsSingleFlush(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		prof core.Profile
+	}{
+		{"jbd2", core.EXT4DR(device.PlainSSD())},
+		{"dual", core.BFSDR(device.PlainSSD())},
+	} {
+		mk := mk
+		b.Run(mk.name, func(b *testing.B) {
+			var ops float64
+			for n := 0; n < b.N; n++ {
+				k := sim.NewKernel()
+				s := core.NewStack(k, mk.prof)
+				cfg := workload.DefaultDWSL(8)
+				cfg.Duration, cfg.Warmup = 60*sim.Millisecond, 10*sim.Millisecond
+				ops = workload.DWSL(k, s, cfg).OpsPerS
+				k.Close()
+			}
+			b.ReportMetric(ops, "ops/s")
+		})
+	}
+}

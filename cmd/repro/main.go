@@ -1,0 +1,119 @@
+// Command repro regenerates the tables and figures of "Barrier-Enabled IO
+// Stack for Flash Storage" (FAST '18) on the simulated stack.
+//
+// Usage:
+//
+//	repro [-quick] [experiment ...]
+//
+// Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
+// crash all. With no arguments, runs `all`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/crashtest"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shortened experiments")
+	flag.Parse()
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, name := range args {
+		if err := run(name, scale); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, scale experiments.Scale) error {
+	all := name == "all"
+	ran := false
+	emit := func(s string) {
+		fmt.Println(s)
+		ran = true
+	}
+	if all || name == "fig1" {
+		emit(experiments.Fig1(scale).String())
+	}
+	if all || name == "fig8" {
+		emit(experiments.Fig8(scale).String())
+	}
+	if all || name == "fig9" {
+		emit(experiments.Fig9(scale).String())
+	}
+	if all || name == "fig10" {
+		emit(experiments.RenderFig10(experiments.Fig10(scale)))
+	}
+	if all || name == "table1" {
+		emit(experiments.Table1(scale).String())
+	}
+	if all || name == "fig11" {
+		emit(experiments.Fig11(scale).String())
+	}
+	if all || name == "fig12" {
+		emit(experiments.Fig12(scale).String())
+	}
+	if all || name == "fig13" {
+		emit(experiments.Fig13(scale).String())
+	}
+	if all || name == "fig14" {
+		emit(experiments.Fig14(scale).String())
+	}
+	if all || name == "fig15" {
+		emit(experiments.Fig15(scale).String())
+	}
+	if all || name == "crash" {
+		emit(crashReport(scale))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func crashReport(scale experiments.Scale) string {
+	n := 6
+	if scale == experiments.Full {
+		n = 20
+	}
+	var times []sim.Time
+	for i := 1; i <= n; i++ {
+		times = append(times, sim.Time(sim.Duration(i*i)*500*sim.Microsecond))
+	}
+	out := "== Crash consistency sweep ==\n"
+	for _, c := range []struct {
+		label string
+		prof  core.Profile
+		kind  string
+	}{
+		{"BFS-DR durability (plain-SSD)", core.BFSDR(device.PlainSSD()), "durability"},
+		{"BFS-OD ordering (plain-SSD)", core.BFSOD(device.PlainSSD()), "ordering"},
+		{"BFS-OD ordering (UFS)", core.BFSOD(device.UFS()), "ordering"},
+		{"EXT4-DR durability (plain-SSD)", core.EXT4DR(device.PlainSSD()), "durability"},
+		{"EXT4-OD ordering (legacy dev; EXPECTED to violate)", core.EXT4OD(device.LegacySSD()), "ordering"},
+	} {
+		fails := 0
+		for _, rep := range crashtest.Sweep(c.prof, c.kind, times) {
+			if !rep.Ok() {
+				fails++
+			}
+		}
+		out += fmt.Sprintf("%-52s %d/%d crash points violated\n", c.label, fails, len(times))
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a barrier-enabled IO stack, use fdatabarrier() to order
+// two writes without a flush, crash the device at an awkward moment, and
+// watch the ordering guarantee hold.
+//
+// This is the paper's §4.1 codelet:
+//
+//	write(fileA, "Hello");
+//	fdatabarrier(fileA);
+//	write(fileA, "World");
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+func main() {
+	k := sim.NewKernel()
+	defer k.Close()
+
+	// BarrierFS over the paper's UFS device (barrier-compliant, QD16).
+	stack := core.NewStack(k, core.BFSOD(device.UFS()))
+
+	var file *fs.Inode
+	k.Spawn("app", func(p *sim.Proc) {
+		f, err := stack.FS.Create(p, stack.FS.Root(), "hello.txt")
+		if err != nil {
+			panic(err)
+		}
+		file = f
+		stack.FS.Write(p, f, 0) // establish the file durably first
+		stack.FS.Fsync(p, f)
+
+		t0 := p.Now()
+		stack.FS.Write(p, f, 0) // "Hello"
+		stack.FS.Fdatabarrier(p, f)
+		stack.FS.Write(p, f, 1) // "World"
+		stack.FS.Fdatabarrier(p, f)
+		fmt.Printf("two ordered writes issued in %v — no flush, no wait-on-transfer\n",
+			sim.Duration(p.Now()-t0))
+	})
+
+	// Let the writes make some progress, then pull the plug.
+	k.RunUntil(sim.Time(3 * sim.Millisecond))
+	stack.Crash()
+	fmt.Printf("power failure at %v\n", k.Now())
+
+	k.Spawn("recovery", func(p *sim.Proc) {
+		view, _ := stack.RecoverView(p)
+		root, _ := view.Root(stack.FS)
+		meta, ok := view.Lookup(root, "hello.txt")
+		if !ok {
+			fmt.Println("file not recovered (crash before first fsync)")
+			return
+		}
+		v0, ok0 := view.PageVersion(meta, 0)
+		v1, ok1 := view.PageVersion(meta, 1)
+		fmt.Printf("recovered: Hello=%v(v%d) World=%v(v%d)\n", ok0, v0, ok1, v1)
+		if ok1 && v1 > v0 {
+			fmt.Println("ordering violated!? (should never print)")
+		} else {
+			fmt.Println("storage order preserved: World never precedes Hello")
+		}
+	})
+	k.Run()
+	_ = file
+}

@@ -1,0 +1,113 @@
+// Package block implements the order-preserving block device layer of the
+// paper (§3): request flags REQ_ORDERED and REQ_BARRIER, Epoch-based IO
+// scheduling with barrier reassignment on top of conventional schedulers
+// (NOOP, Deadline, CFQ), and a dispatch module that maps barrier writes to
+// SCSI "ordered" priority commands so transfer order is preserved without
+// Wait-on-Transfer.
+package block
+
+import (
+	"repro/internal/sim"
+)
+
+// Flags carry the ordering attributes of a request.
+type Flags uint32
+
+// Request flags mirroring the paper's additions to the kernel block layer.
+const (
+	// FlagOrdered marks an order-preserving request (REQ_ORDERED): it may be
+	// reordered freely only within its epoch.
+	FlagOrdered Flags = 1 << iota
+	// FlagBarrier marks a barrier request (REQ_BARRIER): it delimits an
+	// epoch and is dispatched as a barrier write with ordered priority.
+	FlagBarrier
+	// FlagFlush asks the device to flush its writeback cache before
+	// servicing the request (REQ_FLUSH).
+	FlagFlush
+	// FlagFUA forces the block to the storage surface before completion
+	// (REQ_FUA).
+	FlagFUA
+)
+
+// Has reports whether all bits in f2 are set.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// Op is the request operation.
+type Op int
+
+// Request operations.
+const (
+	OpWrite Op = iota
+	OpRead
+	OpFlush
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpFlush:
+		return "flush"
+	}
+	return "invalid"
+}
+
+// Request is one block-layer IO request for a single 4KB page.
+type Request struct {
+	Op    Op
+	LPA   uint64
+	Data  any
+	Flags Flags
+	// PID identifies the issuing thread; the CFQ scheduler keeps one queue
+	// per PID.
+	PID int
+
+	// OnComplete, if set, fires at IO completion (interrupt context: it must
+	// not block; use it to Resume waiting processes or tally counters).
+	OnComplete func(at sim.Time, r *Request)
+
+	issued    sim.Time
+	completed bool
+	epoch     uint64 // set by the epoch scheduler
+	waiters   []*sim.Proc
+	k         *sim.Kernel
+}
+
+// Ordered reports whether the request is order-preserving (ordered or
+// barrier).
+func (r *Request) Ordered() bool { return r.Flags.Has(FlagOrdered) || r.Flags.Has(FlagBarrier) }
+
+// Completed reports whether the request has finished.
+func (r *Request) Completed() bool { return r.completed }
+
+// Epoch returns the epoch assigned by the scheduler.
+func (r *Request) Epoch() uint64 { return r.epoch }
+
+// IssuedAt returns the submission time.
+func (r *Request) IssuedAt() sim.Time { return r.issued }
+
+// Wait blocks the calling process until the request completes. This is the
+// Wait-on-Transfer primitive of the legacy stack (§2.2): callers in the
+// barrier-enabled stack should rarely need it.
+func (r *Request) Wait(p *sim.Proc) {
+	for !r.completed {
+		r.waiters = append(r.waiters, p)
+		p.Suspend()
+	}
+}
+
+// complete marks the request done and wakes waiters. Called by the
+// dispatcher from device completion context.
+func (r *Request) complete(at sim.Time) {
+	r.completed = true
+	ws := r.waiters
+	r.waiters = nil
+	for _, w := range ws {
+		r.k.Resume(w)
+	}
+	if r.OnComplete != nil {
+		r.OnComplete(at, r)
+	}
+}

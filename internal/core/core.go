@@ -1,0 +1,168 @@
+// Package core assembles the full barrier-enabled IO stack — storage device,
+// order-preserving block layer and journaling filesystem — into the named
+// configurations the paper evaluates (§6):
+//
+//	EXT4-DR  fsync() on EXT4 (JBD2, barrier mount): full durability
+//	EXT4-OD  fsync() on EXT4 with nobarrier: ordering only, no flush
+//	BFS-DR   fsync() on BarrierFS (Dual-Mode journaling)
+//	BFS-OD   fbarrier() on BarrierFS: ordering only
+//	OptFS    osync(): ordering via Wait-on-Transfer, delayed durability
+//
+// A Stack is the unit every experiment and example builds on.
+package core
+
+import (
+	"repro/internal/block"
+	"repro/internal/device"
+	"repro/internal/fs"
+	"repro/internal/jbd"
+	"repro/internal/sim"
+)
+
+// SchedKind selects the base IO scheduler under the epoch scheduler.
+type SchedKind int
+
+// Base schedulers.
+const (
+	SchedNOOP SchedKind = iota
+	SchedCFQ
+	SchedDeadline
+)
+
+// Profile names a complete stack configuration.
+type Profile struct {
+	Name   string
+	Device device.Config
+	FS     fs.Options
+	Sched  SchedKind
+	// Relaxed selects the ordering-only sync calls (fbarrier /
+	// fdatabarrier) in workloads that honor it: the "-OD" configurations.
+	Relaxed bool
+	// DispatchOverhead is the block-layer per-command dispatch cost (tD).
+	DispatchOverhead sim.Duration
+	// BarrierAsCommand selects the §3.2 alternative barrier encoding
+	// (standalone command instead of write flag) for ablation studies.
+	BarrierAsCommand bool
+}
+
+// EXT4DR is plain EXT4 with full durability (transfer-and-flush).
+func EXT4DR(dev device.Config) Profile {
+	return tune(Profile{
+		Name: "EXT4-DR", Device: dev,
+		FS:               fs.DefaultOptions(jbd.ModeJBD2),
+		DispatchOverhead: 2 * sim.Microsecond,
+	})
+}
+
+// EXT4OD is EXT4 mounted nobarrier: ordering only, exposed to reordering.
+func EXT4OD(dev device.Config) Profile {
+	p := EXT4DR(dev)
+	p.Name = "EXT4-OD"
+	p.FS.Journal.BarrierMount = false
+	p.Relaxed = true
+	return p
+}
+
+// BFSDR is BarrierFS with durability guarantees (fsync/fdatasync).
+func BFSDR(dev device.Config) Profile {
+	return tune(Profile{
+		Name: "BFS-DR", Device: dev,
+		FS:               fs.DefaultOptions(jbd.ModeDual),
+		DispatchOverhead: 2 * sim.Microsecond,
+	})
+}
+
+// BFSOD is BarrierFS with ordering guarantees (fbarrier/fdatabarrier).
+func BFSOD(dev device.Config) Profile {
+	p := BFSDR(dev)
+	p.Name = "BFS-OD"
+	p.Relaxed = true
+	return p
+}
+
+// OptFS is the OptFS baseline: osync()-style ordering-only journaling.
+func OptFS(dev device.Config) Profile {
+	return tune(Profile{
+		Name: "OptFS", Device: dev,
+		FS:               fs.DefaultOptions(jbd.ModeOptFS),
+		Relaxed:          true,
+		DispatchOverhead: 2 * sim.Microsecond,
+	})
+}
+
+// tune applies platform-dependent host costs: mobile SoCs pay more per
+// syscall, wake-up and dispatch than the server parts (§6.1).
+func tune(p Profile) Profile {
+	if p.Device.Mobile {
+		p.FS.SyscallCPU = 6 * sim.Microsecond
+		p.FS.WakeLatency = 60 * sim.Microsecond
+		p.FS.Journal.WakeLatency = 60 * sim.Microsecond
+		p.DispatchOverhead = 6 * sim.Microsecond
+	}
+	return p
+}
+
+// Profiles returns the standard five configurations over a device.
+func Profiles(dev func() device.Config) []Profile {
+	return []Profile{
+		EXT4DR(dev()), BFSDR(dev()), OptFS(dev()), EXT4OD(dev()), BFSOD(dev()),
+	}
+}
+
+// Stack is a fully wired IO stack.
+type Stack struct {
+	Profile Profile
+	K       *sim.Kernel
+	Dev     *device.Device
+	Layer   *block.Layer
+	FS      *fs.FS
+}
+
+// NewStack builds a stack on kernel k.
+func NewStack(k *sim.Kernel, prof Profile) *Stack {
+	dev := device.New(k, prof.Device)
+	var base block.Scheduler
+	switch prof.Sched {
+	case SchedCFQ:
+		base = block.NewCFQ()
+	case SchedDeadline:
+		base = block.NewDeadline(func() sim.Time { return k.Now() }, 0)
+	default:
+		base = block.NewNOOP()
+	}
+	layer := block.NewLayer(k, dev, block.NewEpochScheduler(base), block.LayerConfig{
+		DispatchOverhead: prof.DispatchOverhead,
+		BarrierAsCommand: prof.BarrierAsCommand,
+	})
+	f := fs.New(k, layer, prof.FS)
+	return &Stack{Profile: prof, K: k, Dev: dev, Layer: layer, FS: f}
+}
+
+// Sync invokes the profile's durability-or-ordering call on the file:
+// fsync for the -DR profiles, fbarrier (osync) for the relaxed ones.
+func (s *Stack) Sync(p *sim.Proc, i *fs.Inode) {
+	if s.Profile.Relaxed {
+		s.FS.Fbarrier(p, i)
+	} else {
+		s.FS.Fsync(p, i)
+	}
+}
+
+// Datasync invokes fdatasync or fdatabarrier depending on the profile.
+func (s *Stack) Datasync(p *sim.Proc, i *fs.Inode) {
+	if s.Profile.Relaxed {
+		s.FS.Fdatabarrier(p, i)
+	} else {
+		s.FS.Fdatasync(p, i)
+	}
+}
+
+// Crash power-fails the device.
+func (s *Stack) Crash() { s.Dev.Crash() }
+
+// RecoverView restores the device and returns a recovered filesystem view
+// for verification, along with the recovered device.
+func (s *Stack) RecoverView(p *sim.Proc) (*fs.View, *device.Device) {
+	d2 := device.Recover(p, s.Dev)
+	return fs.Recover(d2.DurableData, s.Profile.FS.Journal), d2
+}

@@ -1,0 +1,87 @@
+package device
+
+import "repro/internal/sim"
+
+// CmdKind selects the command operation.
+type CmdKind int
+
+// Command kinds.
+const (
+	CmdWrite CmdKind = iota
+	CmdRead
+	CmdFlush
+	// CmdBarrier is a standalone cache-barrier command: it delimits an
+	// epoch without carrying data. The paper's design avoids it in favour
+	// of a write flag because it occupies a queue slot and costs a command
+	// dispatch (§3.2); the device supports both so the trade-off can be
+	// measured (see BenchmarkAblationBarrierCommand).
+	CmdBarrier
+)
+
+func (k CmdKind) String() string {
+	switch k {
+	case CmdWrite:
+		return "write"
+	case CmdRead:
+		return "read"
+	case CmdFlush:
+		return "flush"
+	case CmdBarrier:
+		return "barrier"
+	}
+	return "invalid"
+}
+
+// Priority is the SCSI command priority (§3.4). Simple commands may be
+// serviced in any order but never ahead of an earlier ordered command;
+// an ordered command is serviced only after everything received before it
+// completes, and blocks everything received after it until it completes;
+// head-of-queue commands are serviced as soon as possible.
+type Priority int
+
+// Priorities.
+const (
+	PrioSimple Priority = iota
+	PrioOrdered
+	PrioHeadOfQueue
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PrioSimple:
+		return "simple"
+	case PrioOrdered:
+		return "ordered"
+	case PrioHeadOfQueue:
+		return "head-of-queue"
+	}
+	return "invalid"
+}
+
+// Command is one device command. For writes, exactly one 4KB page.
+type Command struct {
+	Kind CmdKind
+	LPA  uint64
+	Data any
+	Prio Priority
+
+	// FUA forces the page to the storage surface before completion.
+	FUA bool
+	// PreFlush flushes the writeback cache before servicing the command
+	// (the REQ_FLUSH half of REQ_FLUSH|REQ_FUA).
+	PreFlush bool
+	// Barrier is the cache-barrier flag: pages transferred after this
+	// command must persist after the pages transferred before it.
+	Barrier bool
+
+	// Done fires at host interrupt time when the command completes. For
+	// reads, Data carries the result.
+	Done func(at sim.Time, c *Command)
+
+	seq      uint64
+	complete bool
+	arrived  sim.Time
+}
+
+// Seq returns the device arrival sequence number (set by Submit).
+func (c *Command) Seq() uint64 { return c.seq }

@@ -1,0 +1,558 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ftl"
+	"repro/internal/metrics"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// Stats are cumulative device statistics.
+type Stats struct {
+	Writes       int64
+	Reads        int64
+	Flushes      int64
+	Barriers     int64 // writes carrying the barrier flag
+	FUAWrites    int64
+	BusyRejects  int64 // submissions rejected with a full queue
+	CacheHits    int64
+	EpochCrosses int64 // writeback order checks (barrier devices)
+}
+
+// cacheEntry is one page in the writeback cache. Entries live from DMA
+// completion until their NAND program completes (or forever, under power
+// failure, if the device has PLP).
+type cacheEntry struct {
+	seq     uint64 // cache arrival order == transfer order
+	lpa     uint64
+	data    any
+	epoch   uint64
+	urgent  bool   // FUA: write back immediately
+	started bool   // handed to the FTL appender
+	idx     uint64 // FTL append index, valid once started
+	durable bool
+}
+
+// Device is the simulated storage device.
+type Device struct {
+	k   *sim.Kernel
+	cfg Config
+	arr *nand.Array
+	f   *ftl.FTL
+	rng *rand.Rand
+
+	// Command queue.
+	queued   []*Command
+	inflight []*Command
+	cmdSeq   uint64
+
+	// Writeback cache.
+	entries  []*cacheEntry // not-yet-durable pages in transfer order
+	entrySeq uint64
+	dirtyN   int // entries not yet handed to the FTL appender
+	urgentN  int // dirty entries with FUA urgency
+	readMap  map[uint64]any
+	curEpoch uint64
+
+	dmaBus *sim.Semaphore
+
+	pickCond  *sim.Cond // workers: a command may have become eligible
+	spaceCond *sim.Cond // host: a queue slot may have freed
+	wbCond    *sim.Cond // writeback daemon kick
+	reapCond  *sim.Cond // durability reaper kick
+	doneCond  *sim.Cond // cache entries became durable (flush/FUA waits)
+
+	flushing    bool
+	wantDrain   bool // writeback daemon should drain everything
+	barrierOn   bool // a barrier write has been seen; penalty active
+	dead        bool
+	plpSnapshot []*cacheEntry
+
+	qdSeries *metrics.Series
+	stats    Stats
+}
+
+// New builds a device with a freshly formatted FTL and starts its service
+// processes.
+func New(k *sim.Kernel, cfg Config) *Device {
+	cfg = defaults(cfg)
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	arr := nand.New(k, cfg.Geometry, cfg.Timing)
+	d := newDevice(k, cfg, arr)
+	d.f = ftl.New(k, arr, cfg.FTL)
+	d.start()
+	return d
+}
+
+func newDevice(k *sim.Kernel, cfg Config, arr *nand.Array) *Device {
+	return &Device{
+		k: k, cfg: cfg, arr: arr,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		readMap:   make(map[uint64]any),
+		dmaBus:    sim.NewSemaphore(k, 1),
+		pickCond:  sim.NewCond(k),
+		spaceCond: sim.NewCond(k),
+		wbCond:    sim.NewCond(k),
+		reapCond:  sim.NewCond(k),
+		doneCond:  sim.NewCond(k),
+		qdSeries:  metrics.NewSeries(cfg.Name + "/qd"),
+	}
+}
+
+func (d *Device) start() {
+	for i := 0; i < d.cfg.QueueDepth; i++ {
+		d.k.Spawn(fmt.Sprintf("%s/worker%d", d.cfg.Name, i), d.worker)
+	}
+	d.k.Spawn(d.cfg.Name+"/writeback", d.writebackLoop)
+	d.k.Spawn(d.cfg.Name+"/reaper", d.reaperLoop)
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Array exposes the NAND array (verification hooks).
+func (d *Device) Array() *nand.Array { return d.arr }
+
+// FTL exposes the translation layer (verification hooks).
+func (d *Device) FTL() *ftl.FTL { return d.f }
+
+// Stats returns cumulative statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// QDSeries returns the queue-depth trace (Figs. 10, 12).
+func (d *Device) QDSeries() *metrics.Series { return d.qdSeries }
+
+// Occupancy returns the number of commands in the device (queued + in
+// service).
+func (d *Device) Occupancy() int { return len(d.queued) + len(d.inflight) }
+
+// CurEpoch returns the device's current write epoch (barrier count + 1).
+func (d *Device) CurEpoch() uint64 { return d.curEpoch }
+
+// Dead reports whether the device has crashed.
+func (d *Device) Dead() bool { return d.dead }
+
+// Submit offers a command to the device. It returns false when the command
+// queue is full or the device is dead; the host must retry (the block
+// layer's dispatch module handles that, §3.4 Fig. 6b).
+func (d *Device) Submit(c *Command) bool {
+	if d.dead {
+		return false
+	}
+	if d.Occupancy() >= d.cfg.QueueDepth {
+		d.stats.BusyRejects++
+		return false
+	}
+	d.cmdSeq++
+	c.seq = d.cmdSeq
+	c.arrived = d.k.Now()
+	d.queued = append(d.queued, c)
+	d.qdSeries.Record(d.k.Now(), float64(d.Occupancy()))
+	d.pickCond.Broadcast()
+	return true
+}
+
+// WaitSpace blocks until the queue has a free slot (or the device dies).
+func (d *Device) WaitSpace(p *sim.Proc) {
+	for !d.dead && d.Occupancy() >= d.cfg.QueueDepth {
+		d.spaceCond.Wait(p)
+	}
+}
+
+// --- command servicing ---
+
+// eligible reports whether queued command c may begin service under SCSI
+// ordering rules, given every incomplete command with a smaller sequence
+// number.
+func (d *Device) eligible(c *Command) bool {
+	switch c.Prio {
+	case PrioHeadOfQueue:
+		return true
+	case PrioOrdered:
+		for _, o := range d.inflight {
+			if o.seq < c.seq {
+				return false
+			}
+		}
+		for _, o := range d.queued {
+			if o.seq < c.seq {
+				return false
+			}
+		}
+		return true
+	default: // simple: must not pass an earlier ordered/head-of-queue command
+		for _, o := range d.inflight {
+			if o.seq < c.seq && o.Prio != PrioSimple {
+				return false
+			}
+		}
+		for _, o := range d.queued {
+			if o.seq < c.seq && o.Prio != PrioSimple {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// pick removes one eligible command from the queue, emulating the
+// controller's freedom to choose among simple commands.
+func (d *Device) pick() *Command {
+	var elig []int
+	for i, c := range d.queued {
+		if d.eligible(c) {
+			if c.Prio == PrioHeadOfQueue {
+				elig = []int{i}
+				break
+			}
+			elig = append(elig, i)
+		}
+	}
+	if len(elig) == 0 {
+		return nil
+	}
+	i := elig[d.rng.Intn(len(elig))]
+	c := d.queued[i]
+	d.queued = append(d.queued[:i], d.queued[i+1:]...)
+	d.inflight = append(d.inflight, c)
+	return c
+}
+
+func (d *Device) worker(p *sim.Proc) {
+	for {
+		var c *Command
+		for {
+			if !d.dead {
+				if c = d.pick(); c != nil {
+					break
+				}
+			}
+			d.pickCond.Wait(p)
+		}
+		d.service(p, c)
+	}
+}
+
+func (d *Device) service(p *sim.Proc, c *Command) {
+	p.Advance(d.cfg.CmdOverhead)
+	if d.dead {
+		return
+	}
+	switch c.Kind {
+	case CmdFlush:
+		d.stats.Flushes++
+		d.doFlush(p)
+	case CmdBarrier:
+		d.stats.Barriers++
+		d.curEpoch++
+		if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
+			d.barrierOn = true
+			d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty
+		}
+	case CmdWrite:
+		if c.PreFlush {
+			d.stats.Flushes++
+			d.doFlush(p)
+			if d.dead {
+				return
+			}
+		}
+		d.doWrite(p, c)
+	case CmdRead:
+		d.doRead(p, c)
+	}
+	if d.dead {
+		return
+	}
+	d.complete(p, c)
+}
+
+func (d *Device) doWrite(p *sim.Proc, c *Command) {
+	// Cache admission: wait for a free page slot.
+	for !d.dead && len(d.entries) >= d.cfg.CachePages {
+		d.wantDrain = true
+		d.wbCond.Broadcast()
+		d.doneCond.Wait(p)
+	}
+	if d.dead {
+		return
+	}
+	if c.Barrier && d.cfg.BarrierCmdCost > 0 {
+		p.Advance(d.cfg.BarrierCmdCost)
+	}
+	// DMA the page from host memory into the cache.
+	d.dmaBus.Acquire(p, 1)
+	p.Advance(d.cfg.DMAPerPage)
+	d.dmaBus.Release(1)
+	if d.dead {
+		return
+	}
+	d.entrySeq++
+	e := &cacheEntry{seq: d.entrySeq, lpa: c.LPA, data: c.Data, epoch: d.curEpoch, urgent: c.FUA}
+	d.entries = append(d.entries, e)
+	d.dirtyN++
+	if e.urgent {
+		d.urgentN++
+	}
+	d.readMap[c.LPA] = c.Data
+	d.stats.Writes++
+	if c.Barrier {
+		d.stats.Barriers++
+		d.curEpoch++
+		if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
+			d.barrierOn = true
+			d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty
+		}
+	}
+	if d.cfg.EagerWriteback || d.dirtyCount() >= d.highWater() || e.urgent {
+		d.wbCond.Broadcast()
+	}
+	if c.FUA {
+		d.stats.FUAWrites++
+		if d.cfg.PLP {
+			// The powerfail-protected cache is as durable as the medium:
+			// FUA is satisfied at transfer.
+			return
+		}
+		for !d.dead && !e.durable {
+			d.doneCond.Wait(p)
+		}
+	}
+}
+
+func (d *Device) doRead(p *sim.Proc, c *Command) {
+	data, hit := d.readMap[c.LPA]
+	if hit {
+		d.stats.CacheHits++
+	} else {
+		data, _ = d.f.Read(p, c.LPA)
+		if d.dead {
+			return
+		}
+	}
+	d.dmaBus.Acquire(p, 1)
+	p.Advance(d.cfg.DMAPerPage)
+	d.dmaBus.Release(1)
+	c.Data = data
+	d.stats.Reads++
+}
+
+// doFlush persists every page currently in the cache. With PLP the cache is
+// already durable, so only the command round trip is charged (the paper's
+// tε).
+func (d *Device) doFlush(p *sim.Proc) {
+	if d.cfg.PLP {
+		p.Advance(d.cfg.PLPFlushLatency)
+		return
+	}
+	target := d.entrySeq
+	d.wantDrain = true
+	d.wbCond.Broadcast()
+	for !d.dead && d.oldestPending() <= target {
+		d.doneCond.Wait(p)
+	}
+}
+
+// oldestPending returns the seq of the oldest non-durable cache entry, or
+// MaxUint64 when the cache is clean.
+func (d *Device) oldestPending() uint64 {
+	for _, e := range d.entries {
+		if !e.durable {
+			return e.seq
+		}
+	}
+	return ^uint64(0)
+}
+
+func (d *Device) complete(p *sim.Proc, c *Command) {
+	for i, o := range d.inflight {
+		if o == c {
+			d.inflight = append(d.inflight[:i], d.inflight[i+1:]...)
+			break
+		}
+	}
+	c.complete = true
+	d.qdSeries.Record(p.Now(), float64(d.Occupancy()))
+	d.spaceCond.Broadcast()
+	d.pickCond.Broadcast()
+	if c.Done != nil {
+		c.Done(p.Now(), c)
+	}
+}
+
+// --- writeback path ---
+
+func (d *Device) dirtyCount() int { return d.dirtyN }
+
+func (d *Device) highWater() int {
+	return int(float64(d.cfg.CachePages) * d.cfg.WritebackHighWater)
+}
+
+func (d *Device) lowWater() int {
+	return int(float64(d.cfg.CachePages) * d.cfg.WritebackLowWater)
+}
+
+// nextWriteback chooses the next cache entry to append to the FTL. Barrier
+// devices preserve transfer order (the paper's UFS FTL appends blocks in
+// transfer order, which together with in-order recovery yields the epoch
+// guarantee). Legacy devices scramble within a window, modelling an
+// arbitrary cache-eviction policy — exactly why they need transfer-and-flush.
+func (d *Device) nextWriteback() *cacheEntry {
+	var window []*cacheEntry
+	for _, e := range d.entries {
+		if e.started {
+			continue
+		}
+		if d.cfg.BarrierSupport {
+			// Order preserved: always drain in transfer order (an urgent
+			// entry pulls everything in front of it along).
+			return e
+		}
+		if e.urgent {
+			return e
+		}
+		window = append(window, e)
+		if len(window) == 16 {
+			break
+		}
+	}
+	if len(window) == 0 {
+		return nil
+	}
+	return window[d.rng.Intn(len(window))]
+}
+
+func (d *Device) shouldWriteback() bool {
+	if d.dirtyN == 0 {
+		return false
+	}
+	if d.cfg.EagerWriteback {
+		return true
+	}
+	return d.wantDrain || d.urgentN > 0 || d.dirtyN >= d.lowWater()
+}
+
+func (d *Device) writebackLoop(p *sim.Proc) {
+	for {
+		for d.dead || !d.shouldWriteback() {
+			if !d.dead && d.dirtyCount() == 0 {
+				d.wantDrain = false
+			}
+			d.wbCond.Wait(p)
+		}
+		e := d.nextWriteback()
+		if e == nil {
+			d.wantDrain = false
+			continue
+		}
+		e.started = true
+		d.dirtyN--
+		if e.urgent {
+			d.urgentN--
+		}
+		e.idx = d.f.Append(p, e.lpa, e.data) // may block on FTL space
+		if d.dead {
+			return
+		}
+		d.reapCond.Broadcast()
+	}
+}
+
+// reaperLoop retires cache entries as their NAND programs complete, freeing
+// cache slots and waking FUA/flush waiters.
+func (d *Device) reaperLoop(p *sim.Proc) {
+	for {
+		// Find the smallest outstanding append index.
+		min := ^uint64(0)
+		for _, e := range d.entries {
+			if e.started && !e.durable && e.idx < min {
+				min = e.idx
+			}
+		}
+		if min == ^uint64(0) {
+			d.reapCond.Wait(p)
+			continue
+		}
+		d.f.WaitDurable(p, min+1)
+		if d.dead {
+			return
+		}
+		durableTo := d.f.DurableIdx()
+		kept := d.entries[:0]
+		retired := false
+		for _, e := range d.entries {
+			if e.started && !e.durable && e.idx < durableTo {
+				e.durable = true
+				retired = true
+				continue // drop from cache
+			}
+			kept = append(kept, e)
+		}
+		d.entries = kept
+		if retired {
+			d.doneCond.Broadcast()
+			d.pickCond.Broadcast()
+		}
+	}
+}
+
+// --- crash & recovery ---
+
+// Crash simulates power failure: in-flight commands vanish, the NAND array
+// drops in-flight programs, and — unless the device has PLP — the writeback
+// cache is lost. The device object is dead afterwards; use Recover to bring
+// the storage back as a new Device.
+func (d *Device) Crash() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	if d.cfg.PLP {
+		// The supercap drains the cache to flash; equivalently, the cache
+		// image survives and is replayed at next power-on.
+		for _, e := range d.entries {
+			if !e.durable {
+				d.plpSnapshot = append(d.plpSnapshot, e)
+			}
+		}
+	}
+	d.queued = nil
+	d.inflight = nil
+	d.arr.Fail()
+	// Wake every parked process so it can observe death and stand down.
+	d.pickCond.Broadcast()
+	d.spaceCond.Broadcast()
+	d.wbCond.Broadcast()
+	d.reapCond.Broadcast()
+	d.doneCond.Broadcast()
+}
+
+// Recover powers the storage back on: it remounts the FTL from the NAND
+// array (running the in-order recovery scan) and replays a PLP cache
+// snapshot if one exists. It returns a fresh Device over the same array.
+func Recover(p *sim.Proc, crashed *Device) *Device {
+	if !crashed.dead {
+		panic("device: Recover on a live device")
+	}
+	k := p.Kernel()
+	crashed.arr.Restore()
+	crashed.arr.ProgramScale = 1
+	d := newDevice(k, crashed.cfg, crashed.arr)
+	d.f = ftl.Mount(p, crashed.arr, crashed.cfg.FTL)
+	for _, e := range crashed.plpSnapshot {
+		idx := d.f.Append(p, e.lpa, e.data)
+		d.f.WaitDurable(p, idx+1)
+	}
+	crashed.plpSnapshot = nil
+	d.start()
+	return d
+}
+
+// DurableData returns the post-crash durable contents of a logical page
+// (verification hook; use after Recover).
+func (d *Device) DurableData(lpa uint64) (any, bool) { return d.f.DurableData(lpa) }

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/oltp"
+	"repro/internal/sim"
+	"repro/internal/sqlmini"
+	"repro/internal/workload"
+)
+
+// Fig14Row is one SQLite configuration.
+type Fig14Row struct {
+	Device   string
+	Config   string
+	Mode     sqlmini.JournalMode
+	TxPerSec float64
+}
+
+// Fig14Result is the SQLite matrix.
+type Fig14Result struct{ Rows []Fig14Row }
+
+// Fig14 reproduces Fig. 14: SQLite inserts/second. Panel (a): UFS under
+// durability guarantee, PERSIST and WAL modes, EXT4-DR vs BFS-DR (BFS
+// replaces the first three fdatasyncs of a PERSIST transaction with
+// fdatabarrier). Panel (b): plain-SSD under ordering guarantee, EXT4-OD vs
+// OptFS vs BFS-OD.
+func Fig14(scale Scale) Fig14Result {
+	dur := scale.dur(60*sim.Millisecond, 500*sim.Millisecond)
+	var out Fig14Result
+	run := func(devName string, prof core.Profile, cfgName string, mode sqlmini.JournalMode, d sqlmini.Durability) {
+		k := sim.NewKernel()
+		defer k.Close()
+		s := core.NewStack(k, prof)
+		res := sqlmini.Bench(k, s, sqlmini.DefaultConfig(mode, d), dur)
+		out.Rows = append(out.Rows, Fig14Row{
+			Device: devName, Config: cfgName, Mode: mode, TxPerSec: res.TxPerSec,
+		})
+	}
+	// (a) UFS, durability guarantee.
+	for _, mode := range []sqlmini.JournalMode{sqlmini.Persist, sqlmini.WAL} {
+		run("UFS", core.EXT4DR(device.UFS()), "EXT4-DR", mode, sqlmini.Durable)
+		run("UFS", core.BFSDR(device.UFS()), "BFS-DR", mode, sqlmini.Durable)
+	}
+	// (b) plain-SSD, ordering guarantee.
+	for _, mode := range []sqlmini.JournalMode{sqlmini.Persist, sqlmini.WAL} {
+		run("plain-SSD", core.EXT4OD(device.PlainSSD()), "EXT4-OD", mode, sqlmini.OrderingOnly)
+		run("plain-SSD", core.OptFS(device.PlainSSD()), "OptFS", mode, sqlmini.OrderingOnly)
+		run("plain-SSD", core.BFSOD(device.PlainSSD()), "BFS-OD", mode, sqlmini.OrderingOnly)
+	}
+	// Reference: the 73x headline compares BFS-OD against EXT4-DR on
+	// plain-SSD in PERSIST mode.
+	run("plain-SSD", core.EXT4DR(device.PlainSSD()), "EXT4-DR", sqlmini.Persist, sqlmini.Durable)
+	return out
+}
+
+func (r Fig14Result) String() string {
+	t := newTable("Fig 14: SQLite inserts/s")
+	t.row("%-12s %-8s %-8s %12s", "device", "config", "journal", "Tx/s")
+	for _, row := range r.Rows {
+		t.row("%-12s %-8s %-8s %12.0f", row.Device, row.Config, row.Mode, row.TxPerSec)
+	}
+	return t.String()
+}
+
+// Fig15Row is one (device, workload, configuration) bar of Fig. 15.
+type Fig15Row struct {
+	Device   string
+	Workload string
+	Config   string
+	PerSec   float64
+}
+
+// Fig15Result is the server-workload matrix.
+type Fig15Result struct{ Rows []Fig15Row }
+
+// Fig15 reproduces Fig. 15: varmail (ops/s) and OLTP-insert (Tx/s) across
+// EXT4-DR, BFS-DR, OptFS, EXT4-OD and BFS-OD on plain-SSD and supercap-SSD.
+func Fig15(scale Scale) Fig15Result {
+	dur := scale.dur(60*sim.Millisecond, 400*sim.Millisecond)
+	var out Fig15Result
+	profiles := []struct {
+		name string
+		mk   func(device.Config) core.Profile
+	}{
+		{"EXT4-DR", core.EXT4DR},
+		{"BFS-DR", core.BFSDR},
+		{"OptFS", core.OptFS},
+		{"EXT4-OD", core.EXT4OD},
+		{"BFS-OD", core.BFSOD},
+	}
+	for _, dev := range []func() device.Config{device.PlainSSD, device.SupercapSSD} {
+		for _, pr := range profiles {
+			// varmail
+			{
+				k := sim.NewKernel()
+				s := core.NewStack(k, pr.mk(dev()))
+				cfg := workload.DefaultVarmail()
+				cfg.Duration, cfg.Warmup = dur, dur/8
+				if scale == Quick {
+					cfg.Threads = 8
+					cfg.Files = 32
+				}
+				res := workload.Varmail(k, s, cfg)
+				k.Close()
+				out.Rows = append(out.Rows, Fig15Row{
+					Device: dev().Name, Workload: "varmail", Config: pr.name, PerSec: res.OpsPerS,
+				})
+			}
+			// OLTP-insert
+			{
+				k := sim.NewKernel()
+				s := core.NewStack(k, pr.mk(dev()))
+				cfg := oltp.DefaultConfig()
+				if scale == Quick {
+					cfg.Clients = 4
+				}
+				res := oltp.Bench(k, s, cfg, dur)
+				k.Close()
+				out.Rows = append(out.Rows, Fig15Row{
+					Device: dev().Name, Workload: "OLTP-insert", Config: pr.name, PerSec: res.TxPerSec,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (r Fig15Result) String() string {
+	t := newTable("Fig 15: server workloads (varmail ops/s, OLTP-insert Tx/s)")
+	t.row("%-14s %-12s %-8s %12s", "device", "workload", "config", "per-sec")
+	for _, row := range r.Rows {
+		t.row("%-14s %-12s %-8s %12.0f", row.Device, row.Workload, row.Config, row.PerSec)
+	}
+	return t.String()
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig1Row is one device of the Fig. 1 sweep.
+type Fig1Row struct {
+	Device       string
+	Channels     int
+	BufferedIOPS float64 // plain write()
+	OrderedIOPS  float64 // write() + fdatasync()
+	RatioPercent float64
+}
+
+// Fig1Result is the ordered-vs-buffered ratio sweep.
+type Fig1Result struct{ Rows []Fig1Row }
+
+// Fig1 reproduces Fig. 1: as device parallelism grows, ordered-write
+// throughput collapses relative to buffered-write throughput.
+func Fig1(scale Scale) Fig1Result {
+	var out Fig1Result
+	dur := scale.dur(50*sim.Millisecond, 300*sim.Millisecond)
+	for i := 0; i < device.NumFig1Devices; i++ {
+		cfg := device.Fig1Device(i)
+		buffered := runRandPolicy(core.EXT4OD(cfg), workload.PolicyP, dur)
+		ordered := runRandPolicy(core.EXT4DR(cfg), workload.PolicyXnF, dur)
+		ratio := 0.0
+		if buffered.IOPS > 0 {
+			ratio = ordered.IOPS / buffered.IOPS * 100
+		}
+		out.Rows = append(out.Rows, Fig1Row{
+			Device:       cfg.Name,
+			Channels:     cfg.Geometry.Channels,
+			BufferedIOPS: buffered.IOPS,
+			OrderedIOPS:  ordered.IOPS,
+			RatioPercent: ratio,
+		})
+	}
+	return out
+}
+
+func (r Fig1Result) String() string {
+	t := newTable("Fig 1: Ordered write() vs Orderless write()")
+	t.row("%-24s %8s %14s %14s %8s", "device", "channels", "buffered IOPS", "ordered IOPS", "ratio")
+	for _, row := range r.Rows {
+		t.row("%-24s %8d %14.0f %14.0f %7.1f%%", row.Device, row.Channels,
+			row.BufferedIOPS, row.OrderedIOPS, row.RatioPercent)
+	}
+	return t.String()
+}
+
+// Fig1Device runs a single device of the Fig. 1 sweep at Quick scale
+// (bench helper).
+func Fig1Device(i int) Fig1Row {
+	cfg := device.Fig1Device(i)
+	dur := 50 * sim.Millisecond
+	buffered := runRandPolicy(core.EXT4OD(cfg), workload.PolicyP, dur)
+	ordered := runRandPolicy(core.EXT4DR(cfg), workload.PolicyXnF, dur)
+	ratio := 0.0
+	if buffered.IOPS > 0 {
+		ratio = ordered.IOPS / buffered.IOPS * 100
+	}
+	return Fig1Row{Device: cfg.Name, Channels: cfg.Geometry.Channels,
+		BufferedIOPS: buffered.IOPS, OrderedIOPS: ordered.IOPS, RatioPercent: ratio}
+}
+
+func runRandPolicy(prof core.Profile, po workload.Policy, dur sim.Duration) workload.RandWriteResult {
+	k := sim.NewKernel()
+	defer k.Close()
+	s := core.NewStack(k, prof)
+	cfg := workload.DefaultRandWrite(po)
+	cfg.Duration = dur
+	cfg.Warmup = dur / 5
+	cfg.FilePages = 1024
+	return workload.RandWrite(k, s, cfg)
+}
+
+// Fig9Row is one (device, policy) cell of Fig. 9.
+type Fig9Row struct {
+	Device string
+	Result workload.RandWriteResult
+}
+
+// Fig9Result is the 4KB random-write matrix.
+type Fig9Result struct{ Rows []Fig9Row }
+
+// Fig9 reproduces Fig. 9: IOPS and queue depth of 4KB random writes under
+// XnF / X / B / P on UFS, plain-SSD and supercap-SSD.
+func Fig9(scale Scale) Fig9Result {
+	var out Fig9Result
+	dur := scale.dur(60*sim.Millisecond, 400*sim.Millisecond)
+	devices := []func() device.Config{device.UFS, device.PlainSSD, device.SupercapSSD}
+	for _, dev := range devices {
+		for _, po := range []workload.Policy{workload.PolicyXnF, workload.PolicyX, workload.PolicyB, workload.PolicyP} {
+			prof := profileForPolicy(po, dev())
+			res := runRandPolicy(prof, po, dur)
+			out.Rows = append(out.Rows, Fig9Row{Device: dev().Name, Result: res})
+		}
+	}
+	return out
+}
+
+// profileForPolicy maps a Fig. 9 policy to its stack configuration.
+func profileForPolicy(po workload.Policy, cfg device.Config) core.Profile {
+	switch po {
+	case workload.PolicyXnF:
+		return core.EXT4DR(cfg)
+	case workload.PolicyX:
+		return core.EXT4OD(cfg)
+	case workload.PolicyB:
+		return core.BFSOD(cfg)
+	default:
+		return core.EXT4OD(cfg)
+	}
+}
+
+func (r Fig9Result) String() string {
+	t := newTable("Fig 9: 4KB random write IOPS and queue depth")
+	t.row("%-14s %-4s %10s %8s %8s", "device", "mode", "IOPS", "meanQD", "peakQD")
+	for _, row := range r.Rows {
+		t.row("%-14s %-4s %10.0f %8.1f %8.0f", row.Device, row.Result.Policy,
+			row.Result.IOPS, row.Result.MeanQD, row.Result.PeakQD)
+	}
+	return t.String()
+}
+
+// Fig10Result is a pair of queue-depth traces.
+type Fig10Result struct {
+	Device  string
+	XTrace  string
+	BTrace  string
+	XMeanQD float64
+	BMeanQD float64
+}
+
+// Fig10 reproduces Fig. 10: the queue-depth timeline under Wait-on-Transfer
+// stays pinned at <=1 while the barrier-enabled run saturates the queue.
+func Fig10(scale Scale) []Fig10Result {
+	var out []Fig10Result
+	dur := scale.dur(40*sim.Millisecond, 200*sim.Millisecond)
+	for _, dev := range []func() device.Config{device.PlainSSD, device.UFS} {
+		res := Fig10Result{Device: dev().Name}
+		// X: Wait-on-Transfer.
+		{
+			k := sim.NewKernel()
+			s := core.NewStack(k, core.EXT4OD(dev()))
+			cfg := workload.DefaultRandWrite(workload.PolicyX)
+			cfg.Duration, cfg.Warmup, cfg.FilePages = dur, dur/5, 512
+			r := workload.RandWrite(k, s, cfg)
+			res.XMeanQD = r.MeanQD
+			res.XTrace = s.Dev.QDSeries().AsciiPlot(r.Start, r.Start.Add(sim.Duration(r.End-r.Start)/3), 12,
+				float64(dev().QueueDepth))
+			k.Close()
+		}
+		// B: barrier.
+		{
+			k := sim.NewKernel()
+			s := core.NewStack(k, core.BFSOD(dev()))
+			cfg := workload.DefaultRandWrite(workload.PolicyB)
+			cfg.Duration, cfg.Warmup, cfg.FilePages = dur, dur/5, 512
+			r := workload.RandWrite(k, s, cfg)
+			res.BMeanQD = r.MeanQD
+			res.BTrace = s.Dev.QDSeries().AsciiPlot(r.Start, r.Start.Add(sim.Duration(r.End-r.Start)/3), 12,
+				float64(dev().QueueDepth))
+			k.Close()
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// RenderFig10 renders the trace pair.
+func RenderFig10(rs []Fig10Result) string {
+	t := newTable("Fig 10: queue depth, Wait-on-Transfer vs Barrier")
+	for _, r := range rs {
+		t.row("-- %s --", r.Device)
+		t.row("Wait-on-Transfer (mean QD %.2f):\n%s", r.XMeanQD, r.XTrace)
+		t.row("Barrier (mean QD %.2f):\n%s", r.BMeanQD, r.BTrace)
+	}
+	return t.String()
+}
+
+var _ = fmt.Sprintf // fmt used by sibling files in this package

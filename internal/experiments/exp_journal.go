@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table1Row is one (device, filesystem) row of Table 1.
+type Table1Row struct {
+	Device  string
+	FS      string
+	Summary metrics.Summary
+}
+
+// Table1Result is the fsync latency statistics table.
+type Table1Result struct{ Rows []Table1Row }
+
+// Table1 reproduces Table 1: fsync() latency statistics (mean, median,
+// 99th, 99.9th, 99.99th percentile) for EXT4 vs BarrierFS on the three
+// devices.
+func Table1(scale Scale) Table1Result {
+	var out Table1Result
+	n := scale.n(400, 5000)
+	devices := []func() device.Config{device.UFS, device.PlainSSD, device.SupercapSSD}
+	for _, dev := range devices {
+		for _, mk := range []struct {
+			name string
+			prof core.Profile
+		}{
+			{"EXT4", core.EXT4DR(dev())},
+			{"BFS", core.BFSDR(dev())},
+		} {
+			rec := fsyncLatencies(mk.prof, n)
+			out.Rows = append(out.Rows, Table1Row{
+				Device: dev().Name, FS: mk.name, Summary: rec.Summarize(),
+			})
+		}
+	}
+	return out
+}
+
+// fsyncLatencies runs a 4KB write+fsync loop and records per-call latency.
+func fsyncLatencies(prof core.Profile, n int) *metrics.LatencyRecorder {
+	k := sim.NewKernel()
+	defer k.Close()
+	s := core.NewStack(k, prof)
+	rec := metrics.NewLatencyRecorder(prof.Name)
+	k.Spawn("app", func(p *sim.Proc) {
+		f, err := s.FS.Create(p, s.FS.Root(), "t.dat")
+		if err != nil {
+			panic(err)
+		}
+		// Allocating writes like the paper's DWSL-style fsync loop: every
+		// call commits a transaction.
+		for i := 0; i < n; i++ {
+			s.FS.Write(p, f, int64(i))
+			t0 := p.Now()
+			s.FS.Fsync(p, f)
+			rec.Record(sim.Duration(p.Now() - t0))
+		}
+		k.Stop()
+	})
+	k.Run()
+	return rec
+}
+
+func (r Table1Result) String() string {
+	t := newTable("Table 1: fsync() latency statistics (msec)")
+	t.row("%-14s %-5s %9s %9s %9s %9s %9s", "device", "fs", "mean", "median", "p99", "p99.9", "p99.99")
+	for _, row := range r.Rows {
+		s := row.Summary
+		t.row("%-14s %-5s %9.3f %9.3f %9.3f %9.3f %9.3f",
+			row.Device, row.FS, s.Mean, s.Median, s.P99, s.P999, s.P9999)
+	}
+	return t.String()
+}
+
+// Fig11Row is one (device, configuration) bar of Fig. 11.
+type Fig11Row struct {
+	Device   string
+	Config   string
+	Switches float64 // voluntary context switches per sync call
+}
+
+// Fig11Result is the context-switch census.
+type Fig11Result struct{ Rows []Fig11Row }
+
+// Fig11 reproduces Fig. 11: application-level context switches per
+// fsync/fbarrier under EXT4-DR, BFS-DR, EXT4-OD and BFS-OD. Writes happen
+// back-to-back, so the jiffy-granularity timestamps make most fsyncs behave
+// as fdatasync on fast devices — the effect behind the paper's fractional
+// counts.
+func Fig11(scale Scale) Fig11Result {
+	var out Fig11Result
+	n := scale.n(300, 3000)
+	devices := []func() device.Config{device.UFS, device.PlainSSD, device.SupercapSSD}
+	for _, dev := range devices {
+		for _, cfgc := range []struct {
+			name string
+			prof core.Profile
+		}{
+			{"EXT4-DR", core.EXT4DR(dev())},
+			{"BFS-DR", core.BFSDR(dev())},
+			{"EXT4-OD", core.EXT4OD(dev())},
+			{"BFS-OD", core.BFSOD(dev())},
+		} {
+			out.Rows = append(out.Rows, Fig11Row{
+				Device:   dev().Name,
+				Config:   cfgc.name,
+				Switches: switchesPerSync(cfgc.prof, n),
+			})
+		}
+	}
+	return out
+}
+
+// switchesPerSync measures voluntary context switches per sync call for a
+// 4KB overwrite + sync loop on a preallocated file (the paper's setup: the
+// file exists, so metadata dirtying is timestamp-driven).
+func switchesPerSync(prof core.Profile, n int) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	s := core.NewStack(k, prof)
+	meter := metrics.NewSwitchMeter(prof.Name)
+	k.Spawn("app", func(p *sim.Proc) {
+		f, err := s.FS.Create(p, s.FS.Root(), "t.dat")
+		if err != nil {
+			panic(err)
+		}
+		s.FS.Write(p, f, 0)
+		s.FS.Fsync(p, f)
+		for i := 0; i < n; i++ {
+			s.FS.Write(p, f, 0)
+			meter.Begin(p)
+			s.Sync(p, f)
+			meter.End(p)
+		}
+		k.Stop()
+	})
+	k.Run()
+	return meter.PerOp()
+}
+
+func (r Fig11Result) String() string {
+	t := newTable("Fig 11: context switches per fsync()/fbarrier()")
+	t.row("%-14s %-8s %10s", "device", "config", "switches")
+	for _, row := range r.Rows {
+		t.row("%-14s %-8s %10.2f", row.Device, row.Config, row.Switches)
+	}
+	return t.String()
+}
+
+// Fig12Result holds the BarrierFS queue-depth traces for fsync vs fbarrier.
+type Fig12Result struct {
+	FsyncPeakQD    float64
+	FbarrierPeakQD float64
+	FsyncTrace     string
+	FbarrierTrace  string
+}
+
+// Fig12 reproduces Fig. 12: in BarrierFS, fsync() drives the command queue
+// to only ~2-3 while fbarrier() saturates it.
+func Fig12(scale Scale) Fig12Result {
+	run := func(barrier bool) (float64, string) {
+		k := sim.NewKernel()
+		defer k.Close()
+		prof := core.BFSDR(device.UFS())
+		s := core.NewStack(k, prof)
+		k.Spawn("app", func(p *sim.Proc) {
+			f, err := s.FS.Create(p, s.FS.Root(), "t.dat")
+			if err != nil {
+				panic(err)
+			}
+			for i := int64(0); ; i++ {
+				s.FS.Write(p, f, i)
+				if barrier {
+					s.FS.Fbarrier(p, f)
+				} else {
+					s.FS.Fsync(p, f)
+				}
+			}
+		})
+		warm := sim.Time(scale.dur(5*sim.Millisecond, 20*sim.Millisecond))
+		window := sim.Duration(scale.dur(2*sim.Millisecond, 5*sim.Millisecond))
+		k.RunUntil(warm.Add(window))
+		qd := s.Dev.QDSeries()
+		return qd.Peak(warm, warm.Add(window)),
+			qd.AsciiPlot(warm, warm.Add(window), 12, float64(prof.Device.QueueDepth))
+	}
+	var out Fig12Result
+	out.FsyncPeakQD, out.FsyncTrace = run(false)
+	out.FbarrierPeakQD, out.FbarrierTrace = run(true)
+	return out
+}
+
+func (r Fig12Result) String() string {
+	t := newTable("Fig 12: BarrierFS queue depth, fsync vs fbarrier (UFS)")
+	t.row("fsync peak QD    = %.0f\n%s", r.FsyncPeakQD, r.FsyncTrace)
+	t.row("fbarrier peak QD = %.0f\n%s", r.FbarrierPeakQD, r.FbarrierTrace)
+	return t.String()
+}
+
+// Fig13Row is one point of the journaling-scalability curves.
+type Fig13Row struct {
+	Device  string
+	FS      string
+	Threads int
+	OpsPerS float64
+}
+
+// Fig13Result is the DWSL scalability sweep.
+type Fig13Result struct{ Rows []Fig13Row }
+
+// Fig13 reproduces Fig. 13 (fxmark DWSL): filesystem journaling throughput
+// vs core count for EXT4-DR and BFS-DR on plain-SSD and supercap-SSD.
+func Fig13(scale Scale) Fig13Result {
+	var out Fig13Result
+	threads := []int{1, 2, 4, 6, 8, 10, 12}
+	if scale == Quick {
+		threads = []int{1, 2, 4, 8}
+	}
+	dur := scale.dur(80*sim.Millisecond, 400*sim.Millisecond)
+	for _, dev := range []func() device.Config{device.PlainSSD, device.SupercapSSD} {
+		for _, mk := range []struct {
+			name string
+			prof func(device.Config) core.Profile
+		}{
+			{"EXT4-DR", core.EXT4DR},
+			{"BFS-DR", core.BFSDR},
+		} {
+			for _, th := range threads {
+				k := sim.NewKernel()
+				s := core.NewStack(k, mk.prof(dev()))
+				cfg := workload.DefaultDWSL(th)
+				cfg.Duration = dur
+				cfg.Warmup = dur / 8
+				res := workload.DWSL(k, s, cfg)
+				k.Close()
+				out.Rows = append(out.Rows, Fig13Row{
+					Device: dev().Name, FS: mk.name, Threads: th, OpsPerS: res.OpsPerS,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (r Fig13Result) String() string {
+	t := newTable("Fig 13: fxmark DWSL journaling scalability (ops/s)")
+	t.row("%-14s %-8s %8s %12s", "device", "fs", "threads", "ops/s")
+	for _, row := range r.Rows {
+		t.row("%-14s %-8s %8d %12.0f", row.Device, row.FS, row.Threads, row.OpsPerS)
+	}
+	return t.String()
+}
+
+// Fig8Row is one journaling mode's inter-commit interval.
+type Fig8Row struct {
+	Mode       string
+	IntervalUs float64
+	CommitsPS  float64
+}
+
+// Fig8Result is the commit-interval comparison.
+type Fig8Result struct{ Rows []Fig8Row }
+
+// Fig8 reproduces the §4.4 / Fig. 8 analysis: the interval between
+// successive journal commits under BarrierFS (tD), EXT4 no-flush (tD+tC),
+// EXT4 quick-flush/supercap (tD+tC+tε) and EXT4 full-flush (tD+tC+tF).
+func Fig8(scale Scale) Fig8Result {
+	n := scale.n(200, 2000)
+	// The first three modes share the supercap device so the transfer term
+	// tC is identical and only the flush term varies; full flush needs a
+	// device with a volatile cache (plain-SSD).
+	cases := []struct {
+		mode string
+		prof core.Profile
+		call func(s *core.Stack, p *sim.Proc, f *fs.Inode)
+	}{
+		{"BarrierFS (tD)", core.BFSOD(device.SupercapSSD()),
+			func(s *core.Stack, p *sim.Proc, f *fs.Inode) { s.FS.Fbarrier(p, f) }},
+		{"EXT4 no flush (tD+tC)", core.EXT4OD(device.SupercapSSD()),
+			func(s *core.Stack, p *sim.Proc, f *fs.Inode) { s.FS.Fsync(p, f) }},
+		{"EXT4 quick flush (tD+tC+te)", core.EXT4DR(device.SupercapSSD()),
+			func(s *core.Stack, p *sim.Proc, f *fs.Inode) { s.FS.Fsync(p, f) }},
+		{"EXT4 full flush (tD+tC+tF)", core.EXT4DR(device.PlainSSD()),
+			func(s *core.Stack, p *sim.Proc, f *fs.Inode) { s.FS.Fsync(p, f) }},
+	}
+	var out Fig8Result
+	for _, c := range cases {
+		k := sim.NewKernel()
+		s := core.NewStack(k, c.prof)
+		var first, last sim.Time
+		commits := 0
+		k.Spawn("app", func(p *sim.Proc) {
+			f, err := s.FS.Create(p, s.FS.Root(), "j.dat")
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < n; i++ {
+				s.FS.Write(p, f, int64(i)) // allocating: forces a commit
+				c.call(s, p, f)
+				if i == 0 {
+					first = p.Now()
+				}
+				last = p.Now()
+				commits++
+			}
+			k.Stop()
+		})
+		k.Run()
+		k.Close()
+		interval := 0.0
+		if commits > 1 {
+			interval = sim.Duration(last-first).Micros() / float64(commits-1)
+		}
+		out.Rows = append(out.Rows, Fig8Row{
+			Mode:       c.mode,
+			IntervalUs: interval,
+			CommitsPS:  1e6 / interval,
+		})
+	}
+	return out
+}
+
+func (r Fig8Result) String() string {
+	t := newTable("Fig 8: interval between successive journal commits")
+	t.row("%-30s %14s %12s", "mode", "interval (µs)", "commits/s")
+	for _, row := range r.Rows {
+		t.row("%-30s %14.1f %12.0f", row.Mode, row.IntervalUs, row.CommitsPS)
+	}
+	return t.String()
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,56 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated stack. Each experiment returns a
+// structured result plus a text rendering that mirrors the paper's rows and
+// series. Absolute numbers differ from the paper's testbed; the shapes —
+// who wins, by what factor, where curves saturate — are the reproduction
+// target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Scale selects how long each experiment runs.
+type Scale int
+
+// Scales.
+const (
+	// Quick runs in seconds of wall time; used by tests and `repro -quick`.
+	Quick Scale = iota
+	// Full runs the paper-sized version.
+	Full
+)
+
+func (s Scale) dur(quick, full sim.Duration) sim.Duration {
+	if s == Quick {
+		return quick
+	}
+	return full
+}
+
+func (s Scale) n(quick, full int) int {
+	if s == Quick {
+		return quick
+	}
+	return full
+}
+
+// table renders rows of labelled values with a header.
+type table struct {
+	b strings.Builder
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	fmt.Fprintf(&t.b, "== %s ==\n", title)
+	return t
+}
+
+func (t *table) row(format string, args ...any) {
+	fmt.Fprintf(&t.b, format+"\n", args...)
+}
+
+func (t *table) String() string { return t.b.String() }

@@ -1,0 +1,193 @@
+package fs
+
+import (
+	"repro/internal/block"
+	"repro/internal/jbd"
+	"repro/internal/sim"
+)
+
+// PageSize is the filesystem block size in bytes.
+const PageSize = 4096
+
+// Write dirties one 4KB page of the file at page index idx (a buffered
+// write: page cache only, no IO). It allocates a block on first touch,
+// updates the size, and — at jiffy granularity — the timestamp, dirtying
+// the inode's metadata accordingly.
+func (f *FS) Write(p *sim.Proc, i *Inode, idx int64) {
+	f.cpu(p)
+	f.writeVer++
+	pg := i.pages[idx]
+	if pg == nil {
+		pg = &page{idx: idx}
+		i.pages[idx] = pg
+	}
+	pg.ver = f.writeVer
+	pg.dirty = true
+	f.stats.Writes++
+	if f.pdflushCond != nil && f.pdflushCond.Waiters() > 0 {
+		f.pdflushCond.Broadcast()
+	}
+
+	metaDirty := false
+	// Block allocation (allocating write).
+	for int64(len(i.blocks)) <= idx {
+		i.blocks = append(i.blocks, 0)
+	}
+	if i.blocks[idx] == 0 {
+		i.blocks[idx] = f.allocLPARaw()
+		f.j.DirtyBuffer(p, f.allocBufFor(i.ino), nil)
+		i.allocDirty = true
+		metaDirty = true
+	}
+	// Size extension.
+	if end := (idx + 1) * PageSize; end > i.size {
+		i.size = end
+		i.allocDirty = true
+		metaDirty = true
+	}
+	// Timestamp at jiffy granularity: the Fig. 11 mechanism.
+	if jf := f.jiffies(p); jf != i.mtimeJiffy {
+		i.mtimeJiffy = jf
+		metaDirty = true
+	}
+	if metaDirty {
+		f.touchMeta(p, i)
+	}
+}
+
+// WriteAt is Write for a byte offset.
+func (f *FS) WriteAt(p *sim.Proc, i *Inode, off int64) {
+	f.Write(p, i, off/PageSize)
+}
+
+// Read returns the version of a page, fetching it from the device on a
+// cache miss.
+func (f *FS) Read(p *sim.Proc, i *Inode, idx int64) (int64, bool) {
+	f.cpu(p)
+	f.stats.Reads++
+	if pg, ok := i.pages[idx]; ok {
+		return pg.ver, true
+	}
+	if idx >= int64(len(i.blocks)) || i.blocks[idx] == 0 {
+		return 0, false
+	}
+	r := &block.Request{Op: block.OpRead, LPA: i.blocks[idx], PID: p.ID()}
+	f.layer.SubmitAndWait(p, r)
+	f.wake(p)
+	ver := int64(0)
+	if pd, ok := r.Data.(PageData); ok {
+		ver = pd.Ver
+	}
+	i.pages[idx] = &page{idx: idx, ver: ver, everSynced: true}
+	return ver, true
+}
+
+// writebackPlan is the set of in-place data writes produced by writeback.
+type writebackPlan struct {
+	reqs []*block.Request
+}
+
+// writeback turns the file's dirty pages into block requests with the given
+// flags, journaling pages instead when the data-journal mode (or OptFS
+// selective data journaling, for overwrites) applies. The requests are
+// submitted; the caller decides whether to wait.
+func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast bool) writebackPlan {
+	var plan writebackPlan
+	var dirty []*page
+	for _, pg := range i.pages {
+		if pg.dirty {
+			dirty = append(dirty, pg)
+		}
+	}
+	// Deterministic order: by page index.
+	for a := 1; a < len(dirty); a++ {
+		for b := a; b > 0 && dirty[b-1].idx > dirty[b].idx; b-- {
+			dirty[b-1], dirty[b] = dirty[b], dirty[b-1]
+		}
+	}
+	for _, pg := range dirty {
+		journalIt := f.opts.Mode == DataJournal ||
+			(f.opts.SelectiveDataJournal && pg.everSynced)
+		if journalIt {
+			// The page goes through the journal as a logged block; charge
+			// the scan/checksum CPU this costs (OptFS's §6.5 penalty).
+			if f.opts.JournalScanCPU > 0 {
+				p.Advance(f.opts.JournalScanCPU)
+			}
+			if pg.buf == nil {
+				pg.buf = &jbd.Buffer{Home: i.blocks[pg.idx], Name: "data"}
+			}
+			f.j.DirtyBuffer(p, pg.buf, PageData{Ino: i.ino, Idx: pg.idx, Ver: pg.ver})
+			pg.dirty = false
+			pg.everSynced = true
+			f.stats.DataJournaled++
+			continue
+		}
+		r := &block.Request{
+			Op: block.OpWrite, LPA: i.blocks[pg.idx],
+			Data:  PageData{Ino: i.ino, Idx: pg.idx, Ver: pg.ver},
+			Flags: flags,
+			PID:   p.ID(),
+		}
+		pg.dirty = false
+		pg.everSynced = true
+		plan.reqs = append(plan.reqs, r)
+		f.stats.PagesWritten++
+	}
+	if barrierLast && len(plan.reqs) > 0 {
+		plan.reqs[len(plan.reqs)-1].Flags |= block.FlagBarrier | block.FlagOrdered
+	}
+	for _, r := range plan.reqs {
+		// Ordered mode: the journal must not commit the inode before the
+		// data lands (EXT4's ordered-mode rule).
+		if f.opts.Mode == Ordered && i.MetaPending() {
+			f.j.RegisterOrderedData(r)
+		}
+		f.layer.Submit(p, r)
+	}
+	return plan
+}
+
+// WritebackAsync pushes the file's dirty pages to the device as orderless
+// writes without waiting, returning the submitted requests. It models
+// pdflush-style background writeback (the paper's buffered-write baseline);
+// backpressure comes from the block layer's queue limit.
+func (f *FS) WritebackAsync(p *sim.Proc, i *Inode) []*block.Request {
+	plan := f.writeback(p, i, 0, false)
+	return plan.reqs
+}
+
+// waitAll blocks until every request in the plan completes, charging one
+// wake-up.
+func (f *FS) waitAll(p *sim.Proc, plan writebackPlan) {
+	n := 0
+	for _, r := range plan.reqs {
+		if !r.Completed() {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	waiting := false
+	for _, r := range plan.reqs {
+		if r.Completed() {
+			continue
+		}
+		prev := r.OnComplete
+		r.OnComplete = func(at sim.Time, rr *block.Request) {
+			if prev != nil {
+				prev(at, rr)
+			}
+			n--
+			if n == 0 && waiting {
+				f.k.Resume(p)
+			}
+		}
+	}
+	if n > 0 {
+		waiting = true
+		p.Suspend()
+		f.wake(p)
+	}
+}

@@ -1,0 +1,426 @@
+// Package fs implements the filesystem layer of the barrier-enabled IO
+// stack: an EXT4-like filesystem (page cache, inodes, directories, block
+// allocator) whose journaling engine is pluggable (internal/jbd). With the
+// JBD2 engine it behaves like EXT4; with the Dual-Mode engine it is
+// BarrierFS (§4), exposing fbarrier() and fdatabarrier() alongside fsync()
+// and fdatasync(); with the OptFS engine, fbarrier() behaves as osync().
+//
+// Data page contents are modelled as PageData{Ino, Idx, Ver} version stamps
+// rather than byte payloads: every behaviour the paper measures (ordering,
+// durability, latency, context switches) depends only on identity and
+// recency, which the stamps capture exactly and cheaply.
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/jbd"
+	"repro/internal/sim"
+)
+
+// Ino is an inode number.
+type Ino uint64
+
+// RootIno is the root directory's inode number.
+const RootIno Ino = 1
+
+// JournalMode is the EXT4 data journaling mode.
+type JournalMode int
+
+// Journal modes.
+const (
+	// Ordered: data blocks are written in place, and must reach the device
+	// before the transaction that references them commits (EXT4 default).
+	Ordered JournalMode = iota
+	// Writeback: metadata is journaled with no data ordering.
+	Writeback
+	// DataJournal: data blocks are journaled too.
+	DataJournal
+)
+
+func (m JournalMode) String() string {
+	switch m {
+	case Ordered:
+		return "ordered"
+	case Writeback:
+		return "writeback"
+	case DataJournal:
+		return "data"
+	}
+	return "invalid"
+}
+
+// Options configures a filesystem instance.
+type Options struct {
+	// Journal configures the journaling engine (mode, layout, barrier
+	// mount option).
+	Journal jbd.Config
+	// Mode is the data journaling mode.
+	Mode JournalMode
+	// Jiffy is the timer-interrupt granularity of inode timestamps; writes
+	// within one jiffy do not re-dirty the inode (the effect behind the
+	// paper's Fig. 11 fsync-degrades-to-fdatasync behaviour).
+	Jiffy sim.Duration
+	// SyscallCPU is the on-CPU cost charged per filesystem call.
+	SyscallCPU sim.Duration
+	// WakeLatency is the scheduler latency charged after blocking waits.
+	WakeLatency sim.Duration
+	// SelectiveDataJournal enables OptFS-style journaling of overwritten
+	// data pages.
+	SelectiveDataJournal bool
+	// PdflushInterval enables a background dirty-page flusher with the
+	// given period (0 = off). Its writes are orderless, so they interleave
+	// with epochs exactly as the pdflush traffic in the paper's Fig. 5.
+	PdflushInterval sim.Duration
+	// JournalScanCPU is the per-page CPU cost of routing a data page
+	// through the journal (checksum + dirty-page scan). The paper blames
+	// exactly this for OptFS's poor showing on flash (§6.5).
+	JournalScanCPU sim.Duration
+}
+
+// DefaultOptions returns the standard configuration for an engine.
+func DefaultOptions(mode jbd.Mode) Options {
+	o := Options{
+		Journal:    jbd.DefaultConfig(mode),
+		Mode:       Ordered,
+		Jiffy:      10 * sim.Millisecond,
+		SyscallCPU: 2 * sim.Microsecond,
+	}
+	o.WakeLatency = o.Journal.WakeLatency
+	if mode == jbd.ModeOptFS {
+		o.SelectiveDataJournal = true
+		o.JournalScanCPU = 25 * sim.Microsecond
+	}
+	return o
+}
+
+// PageData is the content stamp stored for a file data page.
+type PageData struct {
+	Ino Ino
+	Idx int64
+	Ver int64
+}
+
+// InodeMeta is the on-disk snapshot of an inode (the journaled metadata
+// block).
+type InodeMeta struct {
+	Ino        Ino
+	Dir        bool
+	Size       int64
+	MTimeJiffy int64
+	Blocks     []uint64          // page index -> LPA (0 = hole)
+	Entries    map[string]uint64 // dir: name -> child inode home LPA
+}
+
+// AllocMeta is the on-disk snapshot of the block allocator.
+type AllocMeta struct {
+	NextLPA uint64
+	NFree   int
+}
+
+// page is one page-cache entry.
+type page struct {
+	idx   int64
+	ver   int64
+	dirty bool
+	buf   *jbd.Buffer // set when the page itself is journaled (data mode / selective)
+	// everSynced marks pages that have reached the device at least once;
+	// OptFS journals overwrites of such pages (selective data journaling).
+	everSynced bool
+}
+
+// Inode is an in-memory inode.
+type Inode struct {
+	fs         *FS
+	ino        Ino
+	dir        bool
+	home       uint64 // metadata home LPA
+	size       int64
+	mtimeJiffy int64
+	blocks     []uint64
+	pages      map[int64]*page
+	entries    map[string]uint64 // dirs: name -> child home LPA
+	buf        *jbd.Buffer
+	// allocDirty marks metadata changes that fdatasync must commit (size or
+	// block allocation), as opposed to timestamp-only changes.
+	allocDirty bool
+	nlink      int
+}
+
+// Ino returns the inode number.
+func (i *Inode) Ino() Ino { return i.ino }
+
+// Size returns the file size in bytes.
+func (i *Inode) Size() int64 { return i.size }
+
+// IsDir reports whether the inode is a directory.
+func (i *Inode) IsDir() bool { return i.dir }
+
+// DirtyPages returns the number of dirty page-cache entries.
+func (i *Inode) DirtyPages() int {
+	n := 0
+	for _, pg := range i.pages {
+		if pg.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+func (i *Inode) snapshot() any {
+	m := InodeMeta{
+		Ino: i.ino, Dir: i.dir, Size: i.size, MTimeJiffy: i.mtimeJiffy,
+		Blocks: append([]uint64(nil), i.blocks...),
+	}
+	if i.entries != nil {
+		m.Entries = make(map[string]uint64, len(i.entries))
+		for k, v := range i.entries {
+			m.Entries[k] = v
+		}
+	}
+	return m
+}
+
+// Stats are cumulative filesystem statistics.
+type Stats struct {
+	Writes        int64
+	Reads         int64
+	Fsyncs        int64
+	Fdatasyncs    int64
+	Fbarriers     int64
+	Fdatabarriers int64
+	Creates       int64
+	Unlinks       int64
+	PagesWritten  int64
+	DataJournaled int64 // pages routed through the journal (data/selective)
+	PdflushRuns   int64
+}
+
+// FS is a mounted filesystem.
+type FS struct {
+	k     *sim.Kernel
+	layer *block.Layer
+	j     *jbd.Journal
+	opts  Options
+
+	inodes      map[Ino]*Inode
+	pdflushCond *sim.Cond
+	byHome      map[uint64]*Inode
+	root        *Inode
+	nextIno     Ino
+	nextLPA     uint64
+	nFree       int
+	allocGrps   []*jbd.Buffer
+	writeVer    int64
+
+	stats Stats
+}
+
+// New formats and mounts a filesystem over the block layer.
+func New(k *sim.Kernel, layer *block.Layer, opts Options) *FS {
+	if opts.Jiffy <= 0 {
+		opts.Jiffy = 10 * sim.Millisecond
+	}
+	f := &FS{
+		k: k, layer: layer, opts: opts,
+		inodes:  make(map[Ino]*Inode),
+		byHome:  make(map[uint64]*Inode),
+		nextIno: RootIno + 1,
+		nextLPA: opts.Journal.Start + uint64(opts.Journal.Pages) + 1,
+	}
+	f.j = jbd.New(k, layer, opts.Journal)
+	// Allocation metadata is sharded into groups like EXT4's block-group
+	// bitmaps; concurrent writers dirty different group buffers instead of
+	// contending on one global block (which would serialize every commit
+	// through the multi-transaction page-conflict machinery).
+	for g := 0; g < allocGroups; g++ {
+		buf := &jbd.Buffer{Home: f.allocLPARaw(), Name: fmt.Sprintf("alloc-group-%d", g)}
+		buf.Snapshot = func() any { return AllocMeta{NextLPA: f.nextLPA, NFree: f.nFree} }
+		f.allocGrps = append(f.allocGrps, buf)
+	}
+	f.root = f.newInode(RootIno, true)
+	if opts.PdflushInterval > 0 {
+		f.pdflushCond = sim.NewCond(k)
+		k.Spawn("fs/pdflush", f.pdflush)
+	}
+	return f
+}
+
+// pdflush periodically writes back dirty pages of every inode as orderless
+// requests. It sleeps only while dirty pages exist, so an idle filesystem
+// generates no events.
+func (f *FS) pdflush(p *sim.Proc) {
+	for {
+		if !f.anyDirty() {
+			f.pdflushCond.Wait(p)
+			continue
+		}
+		p.Sleep(f.opts.PdflushInterval)
+		for _, i := range f.inodes {
+			if i.DirtyPages() > 0 {
+				f.writeback(p, i, 0, false)
+				f.stats.PdflushRuns++
+			}
+		}
+	}
+}
+
+func (f *FS) anyDirty() bool {
+	for _, i := range f.inodes {
+		for _, pg := range i.pages {
+			if pg.dirty {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allocGroups is the number of allocation-bitmap shards.
+const allocGroups = 16
+
+// allocBufFor returns the allocation-group buffer covering an inode.
+func (f *FS) allocBufFor(ino Ino) *jbd.Buffer {
+	return f.allocGrps[uint64(ino)%allocGroups]
+}
+
+// Journal exposes the journal (instrumentation).
+func (f *FS) Journal() *jbd.Journal { return f.j }
+
+// Layer exposes the block layer.
+func (f *FS) Layer() *block.Layer { return f.layer }
+
+// Options returns the mount options.
+func (f *FS) Options() Options { return f.opts }
+
+// Stats returns cumulative statistics.
+func (f *FS) Stats() Stats { return f.stats }
+
+// Root returns the root directory inode.
+func (f *FS) Root() *Inode { return f.root }
+
+func (f *FS) allocLPARaw() uint64 {
+	lpa := f.nextLPA
+	f.nextLPA++
+	return lpa
+}
+
+func (f *FS) newInode(ino Ino, dir bool) *Inode {
+	i := &Inode{
+		fs: f, ino: ino, dir: dir,
+		home:  f.allocLPARaw(),
+		pages: make(map[int64]*page),
+		nlink: 1,
+	}
+	if dir {
+		i.entries = make(map[string]uint64)
+	}
+	i.buf = &jbd.Buffer{Home: i.home, Name: fmt.Sprintf("inode-%d", ino)}
+	i.buf.Snapshot = i.snapshot
+	f.inodes[ino] = i
+	f.byHome[i.home] = i
+	return i
+}
+
+func (f *FS) cpu(p *sim.Proc) {
+	if f.opts.SyscallCPU > 0 {
+		p.Advance(f.opts.SyscallCPU)
+	}
+}
+
+func (f *FS) wake(p *sim.Proc) {
+	if f.opts.WakeLatency > 0 {
+		p.Advance(f.opts.WakeLatency)
+	}
+}
+
+// jiffies returns the current time in jiffy units.
+func (f *FS) jiffies(p *sim.Proc) int64 {
+	return int64(p.Now() / sim.Time(f.opts.Jiffy))
+}
+
+// touchMeta marks the inode's metadata dirty in the running transaction.
+func (f *FS) touchMeta(p *sim.Proc, i *Inode) {
+	f.j.DirtyBuffer(p, i.buf, nil)
+}
+
+// MetaPending reports whether the inode has uncommitted metadata.
+func (i *Inode) MetaPending() bool { return i.buf.Pending() }
+
+// --- namespace operations ---
+
+// Create makes a new regular file under dir. It dirties the directory, the
+// new inode and the allocator — the metadata footprint of a varmail-style
+// create.
+func (f *FS) Create(p *sim.Proc, dir *Inode, name string) (*Inode, error) {
+	f.cpu(p)
+	if !dir.dir {
+		return nil, fmt.Errorf("fs: create %q: not a directory", name)
+	}
+	if _, exists := dir.entries[name]; exists {
+		return nil, fmt.Errorf("fs: create %q: exists", name)
+	}
+	ino := f.nextIno
+	f.nextIno++
+	child := f.newInode(ino, false)
+	child.mtimeJiffy = f.jiffies(p)
+	dir.entries[name] = child.home
+	dir.mtimeJiffy = f.jiffies(p)
+	f.touchMeta(p, dir)
+	f.touchMeta(p, child)
+	f.j.DirtyBuffer(p, f.allocBufFor(ino), nil)
+	child.allocDirty = true
+	f.stats.Creates++
+	return child, nil
+}
+
+// Mkdir makes a new directory under dir.
+func (f *FS) Mkdir(p *sim.Proc, dir *Inode, name string) (*Inode, error) {
+	f.cpu(p)
+	if _, exists := dir.entries[name]; exists {
+		return nil, fmt.Errorf("fs: mkdir %q: exists", name)
+	}
+	ino := f.nextIno
+	f.nextIno++
+	child := f.newInode(ino, true)
+	dir.entries[name] = child.home
+	f.touchMeta(p, dir)
+	f.touchMeta(p, child)
+	f.j.DirtyBuffer(p, f.allocBufFor(ino), nil)
+	return child, nil
+}
+
+// Lookup resolves name in dir.
+func (f *FS) Lookup(dir *Inode, name string) (*Inode, bool) {
+	home, ok := dir.entries[name]
+	if !ok {
+		return nil, false
+	}
+	i, ok := f.byHome[home]
+	return i, ok
+}
+
+// Unlink removes name from dir, freeing the inode when the link count
+// drops to zero.
+func (f *FS) Unlink(p *sim.Proc, dir *Inode, name string) error {
+	f.cpu(p)
+	home, ok := dir.entries[name]
+	if !ok {
+		return fmt.Errorf("fs: unlink %q: no such file", name)
+	}
+	delete(dir.entries, name)
+	dir.mtimeJiffy = f.jiffies(p)
+	f.touchMeta(p, dir)
+	if child, ok := f.byHome[home]; ok {
+		child.nlink--
+		if child.nlink == 0 {
+			f.nFree += len(child.blocks)
+			f.j.DirtyBuffer(p, f.allocBufFor(child.ino), nil)
+			delete(f.inodes, child.ino)
+			delete(f.byHome, child.home)
+		}
+	}
+	f.stats.Unlinks++
+	return nil
+}

@@ -1,0 +1,105 @@
+package fs
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/device"
+	"repro/internal/jbd"
+	"repro/internal/sim"
+)
+
+// newPdflushEnv builds a filesystem with background writeback enabled.
+func newPdflushEnv(interval sim.Duration) *env {
+	k := sim.NewKernel()
+	cfg := device.UFS()
+	cfg.QueueDepth = 16
+	cfg.DMAPerPage = 10 * sim.Microsecond
+	cfg.CmdOverhead = 2 * sim.Microsecond
+	dev := device.New(k, cfg)
+	l := block.NewLayer(k, dev, block.NewEpochScheduler(block.NewNOOP()), block.LayerConfig{
+		DispatchOverhead: sim.Microsecond,
+		Trace:            true,
+	})
+	opts := DefaultOptions(jbd.ModeDual)
+	opts.Journal.Pages = 256
+	opts.Journal.CheckpointLow = 32
+	opts.PdflushInterval = 2 * sim.Millisecond
+	opts.PdflushInterval = interval
+	f := New(k, l, opts)
+	return &env{k: k, dev: dev, l: l, fs: f}
+}
+
+func TestPdflushWritesBackWithoutSync(t *testing.T) {
+	e := newPdflushEnv(2 * sim.Millisecond)
+	defer e.close()
+	var f *Inode
+	e.k.Spawn("app", func(p *sim.Proc) {
+		f, _ = e.fs.Create(p, e.fs.Root(), "bg")
+		e.fs.Write(p, f, 0)
+		e.fs.Write(p, f, 1)
+		// No sync call at all: pdflush must clean the pages.
+	})
+	e.k.RunUntil(sim.Time(20 * sim.Millisecond))
+	if f.DirtyPages() != 0 {
+		t.Errorf("dirty pages after pdflush window = %d", f.DirtyPages())
+	}
+	if e.fs.Stats().PdflushRuns == 0 {
+		t.Error("pdflush never ran")
+	}
+}
+
+func TestPdflushIdleQuiescence(t *testing.T) {
+	// With no dirty pages, the pdflush daemon must not keep the kernel
+	// busy: Run() terminates.
+	e := newPdflushEnv(2 * sim.Millisecond)
+	defer e.close()
+	e.k.Spawn("app", func(p *sim.Proc) {
+		f, _ := e.fs.Create(p, e.fs.Root(), "x")
+		e.fs.Write(p, f, 0)
+		e.fs.Fsync(p, f)
+	})
+	end := e.k.Run() // must terminate despite the daemon
+	if end == sim.MaxTime {
+		t.Fatal("kernel never quiesced")
+	}
+}
+
+// The Fig. 5 scenario: fsync traffic (ordered, with barriers) interleaves
+// with pdflush traffic (orderless). The orderless requests must neither
+// carry barriers nor stall the epochs.
+func TestFig5ScenarioPdflushInterleavesWithEpochs(t *testing.T) {
+	e := newPdflushEnv(500 * sim.Microsecond)
+	defer e.close()
+	e.k.Spawn("fsyncer", func(p *sim.Proc) {
+		f, _ := e.fs.Create(p, e.fs.Root(), "synced")
+		for i := 0; i < 20; i++ {
+			e.fs.Write(p, f, int64(i))
+			e.fs.Fsync(p, f)
+		}
+	})
+	e.k.Spawn("dirtier", func(p *sim.Proc) {
+		g, _ := e.fs.Create(p, e.fs.Root(), "background")
+		for i := 0; i < 40; i++ {
+			e.fs.Write(p, g, int64(i))
+			p.Sleep(300 * sim.Microsecond)
+		}
+	})
+	e.k.RunUntil(sim.Time(40 * sim.Millisecond))
+	// Orderless pdflush requests must never have been tagged with a barrier.
+	sawOrderless := false
+	for _, rec := range e.l.DispatchLog() {
+		if rec.Op != block.OpWrite {
+			continue
+		}
+		if !rec.Flags.Has(block.FlagOrdered) && !rec.Flags.Has(block.FlagBarrier) {
+			sawOrderless = true
+		}
+	}
+	if !sawOrderless {
+		t.Error("no orderless pdflush traffic observed alongside epochs")
+	}
+	if e.fs.Stats().PdflushRuns == 0 {
+		t.Error("pdflush never ran in the mixed scenario")
+	}
+}

@@ -1,0 +1,159 @@
+package fs
+
+import (
+	"repro/internal/block"
+	"repro/internal/jbd"
+	"repro/internal/sim"
+)
+
+// Engine returns the journaling engine in use.
+func (f *FS) Engine() jbd.Mode { return f.opts.Journal.Mode }
+
+// Fsync makes the file durable: data, then the journal transaction that
+// covers its metadata. The blocking structure differs per engine exactly as
+// in the paper's Fig. 7:
+//
+//   - EXT4/JBD2: wait for D's transfer, then wait for the JBD thread's
+//     transfer-and-flush commit (two application wake-ups);
+//   - BarrierFS/Dual: dispatch D as order-preserving writes without
+//     waiting, then wait once for the flush thread (one wake-up);
+//   - when the inode has no uncommitted metadata, fsync degrades to
+//     fdatasync (the Fig. 11 jiffy effect).
+func (f *FS) Fsync(p *sim.Proc, i *Inode) {
+	f.cpu(p)
+	f.stats.Fsyncs++
+	f.sync(p, i, i.MetaPending())
+}
+
+// Fdatasync is fsync without the timestamp-only metadata commit: it commits
+// the journal only when block allocation or size changed.
+func (f *FS) Fdatasync(p *sim.Proc, i *Inode) {
+	f.cpu(p)
+	f.stats.Fdatasyncs++
+	f.sync(p, i, i.allocDirty && i.MetaPending())
+}
+
+func (f *FS) sync(p *sim.Proc, i *Inode, commitMeta bool) {
+	switch f.opts.Journal.Mode {
+	case jbd.ModeDual:
+		if commitMeta {
+			// D as ordered writes — no Wait-on-Transfer. The commit thread's
+			// JD closes the {D, JD} epoch (Eq. 3).
+			f.writeback(p, i, block.FlagOrdered, false)
+			f.j.CommitAndWait(p)
+			i.allocDirty = false
+			return
+		}
+		// fdatasync path: D closed by a barrier, then a device flush. If
+		// there is nothing dirty at all, force an (empty) journal commit to
+		// delimit an epoch (§4.2) and wait for it durably.
+		plan := f.writeback(p, i, block.FlagOrdered, true)
+		if len(plan.reqs) == 0 {
+			t := f.j.CommitOrdering(p, true)
+			if t != nil {
+				f.j.WaitTxn(p, t)
+			}
+			return
+		}
+		f.waitAll(p, plan)
+		f.layer.Flush(p)
+		f.wake(p)
+	case jbd.ModeOptFS:
+		plan := f.writeback(p, i, 0, false)
+		f.waitAll(p, plan)
+		if commitMeta {
+			f.j.CommitOrdering(p, false)
+			i.allocDirty = false
+		}
+		// Durability on OptFS: an explicit flush (dsync-like).
+		f.layer.Flush(p)
+		f.wake(p)
+	default: // JBD2 / EXT4
+		plan := f.writeback(p, i, 0, false)
+		f.waitAll(p, plan) // Wait-on-Transfer (wake-up #1)
+		if commitMeta {
+			f.j.CommitAndWait(p) // transfer-and-flush commit (wake-up #2)
+			i.allocDirty = false
+			return
+		}
+		if f.opts.Journal.BarrierMount {
+			f.layer.Flush(p) // wake-up #2
+			f.wake(p)
+		}
+	}
+}
+
+// Fbarrier is the ordering-guarantee-only fsync (§4.1): it writes dirty
+// pages, triggers a journal commit and returns without persisting anything.
+// On the OptFS engine this is osync(). On a JBD2 mount it falls back to
+// fsync with the mount's durability semantics.
+func (f *FS) Fbarrier(p *sim.Proc, i *Inode) {
+	f.cpu(p)
+	f.stats.Fbarriers++
+	switch f.opts.Journal.Mode {
+	case jbd.ModeDual:
+		if i.MetaPending() {
+			f.writeback(p, i, block.FlagOrdered, false)
+			f.j.CommitOrdering(p, false) // returns at JC dispatch
+			i.allocDirty = false
+			return
+		}
+		// No metadata: serviced as fdatabarrier (usually zero wake-ups).
+		f.fdatabarrierDual(p, i)
+	case jbd.ModeOptFS:
+		// osync(): ordering via Wait-on-Transfer, no flush.
+		plan := f.writeback(p, i, 0, false)
+		f.waitAll(p, plan)
+		if i.MetaPending() {
+			f.j.CommitOrdering(p, false)
+			i.allocDirty = false
+		}
+	default:
+		f.sync(p, i, i.MetaPending())
+	}
+}
+
+// Fdatabarrier enforces the storage order between preceding and following
+// writes with no durability wait, no flush, and no Wait-on-Transfer — the
+// storage analogue of a memory barrier (§4.1). Only meaningful on the
+// Dual-Mode engine; other engines approximate it with their strongest
+// cheap primitive.
+func (f *FS) Fdatabarrier(p *sim.Proc, i *Inode) {
+	f.cpu(p)
+	f.stats.Fdatabarriers++
+	switch f.opts.Journal.Mode {
+	case jbd.ModeDual:
+		f.fdatabarrierDual(p, i)
+	case jbd.ModeOptFS:
+		// osync: write data (Wait-on-Transfer) and commit the journal —
+		// journaled pages (selective data journaling) only reach the device
+		// through the commit.
+		plan := f.writeback(p, i, 0, false)
+		f.waitAll(p, plan)
+		f.j.CommitOrdering(p, false)
+	default:
+		f.Fdatasync(p, i)
+		f.stats.Fdatasyncs--
+	}
+}
+
+func (f *FS) fdatabarrierDual(p *sim.Proc, i *Inode) {
+	plan := f.writeback(p, i, block.FlagOrdered, true)
+	if len(plan.reqs) == 0 {
+		// Delimit the epoch through a forced (possibly empty) commit; do
+		// not wait for anything beyond the commit dispatch.
+		f.j.CommitOrdering(p, true)
+	}
+}
+
+// SyncFS flushes everything: all dirty files, a journal commit and a device
+// flush. Used by tests and orderly shutdown.
+func (f *FS) SyncFS(p *sim.Proc) {
+	for _, i := range f.inodes {
+		plan := f.writeback(p, i, 0, false)
+		f.waitAll(p, plan)
+	}
+	f.j.CommitAndWait(p)
+	f.layer.Flush(p)
+	f.wake(p)
+}

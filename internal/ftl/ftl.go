@@ -1,0 +1,401 @@
+// Package ftl implements the log-structured flash translation layer the
+// paper builds its barrier-compliant UFS device on (§3.2): the entire device
+// is treated as a single log, incoming blocks are appended to an active
+// segment in transfer order and striped across chips, and crash recovery
+// scans the most recent segment from its beginning, discarding everything
+// from the first unprogrammed page onward. Because the durable state is
+// always a prefix of the append order, the device can flush its cache with
+// full parallelism and still honor barrier ordering — the core trick that
+// makes "cache barrier" cheap.
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// SummaryLPA is the reserved logical address marking segment-summary pages.
+const SummaryLPA = ^uint64(0)
+
+// SealLPA is the reserved logical address of crash-seal pages written by
+// recovery to terminate a partially programmed segment.
+const SealLPA = ^uint64(0) - 1
+
+// Config tunes the FTL.
+type Config struct {
+	// GCLowWater triggers garbage collection when the number of free
+	// segments drops to or below it. Must be >= 1.
+	GCLowWater int
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig() Config { return Config{GCLowWater: 2} }
+
+type slotRef struct {
+	seg  int
+	slot int
+}
+
+type segment struct {
+	id        int
+	allocSeq  uint64 // segment allocation number (stored in the summary page)
+	nextSlot  int    // next slot to append
+	prefixOK  int    // slots [0, prefixOK) are programmed (durable prefix)
+	done      []bool // per-slot program completion
+	valid     int    // live data pages (mapping points here)
+	sealed    bool   // fully appended (or crash-sealed)
+	lpas      []uint64
+	baseIdx   uint64 // global append index of slot 0
+	crashSeal bool   // sealed by recovery rather than by filling up
+}
+
+// Stats are cumulative FTL statistics.
+type Stats struct {
+	HostAppends  int64
+	GCAppends    int64
+	GCRuns       int64
+	SegsErased   int64
+	Stalls       int64 // appends that blocked waiting for space or seal
+	RecoveryDrop int64 // pages discarded by the last recovery scan
+}
+
+// FTL is the translation layer. All methods taking a *sim.Proc may block.
+type FTL struct {
+	k    *sim.Kernel
+	arr  *nand.Array
+	cfg  Config
+	geo  nand.Geometry
+	caps int // slots per segment (chips * pagesPerBlock)
+
+	mapping map[uint64]slotRef
+	segs    []*segment
+	free    []int
+	active  *segment
+
+	appendSeq  uint64 // per-page log sequence number
+	allocSeq   uint64 // segment allocation counter
+	appendIdx  uint64 // global append index (next to assign)
+	durableIdx uint64 // appends [0, durableIdx) are durable
+
+	durableCond *sim.Cond
+	spaceCond   *sim.Cond
+	gcCond      *sim.Cond
+	gcProc      *sim.Proc
+	gcBusy      bool
+
+	stats Stats
+}
+
+// New formats the array (assumed erased) and returns a mounted FTL with a
+// running GC daemon.
+func New(k *sim.Kernel, arr *nand.Array, cfg Config) *FTL {
+	if cfg.GCLowWater < 1 {
+		cfg.GCLowWater = 1
+	}
+	f := &FTL{
+		k: k, arr: arr, cfg: cfg, geo: arr.Geometry(),
+		caps:    arr.Geometry().Chips() * arr.Geometry().PagesPerBlock,
+		mapping: make(map[uint64]slotRef),
+	}
+	for s := 0; s < f.geo.BlocksPerChip; s++ {
+		f.segs = append(f.segs, &segment{id: s})
+		f.free = append(f.free, s)
+	}
+	f.durableCond = sim.NewCond(k)
+	f.spaceCond = sim.NewCond(k)
+	f.gcCond = sim.NewCond(k)
+	f.gcProc = k.Spawn("ftl/gc", f.gcLoop)
+	return f
+}
+
+// SegmentSlots returns the number of page slots per segment.
+func (f *FTL) SegmentSlots() int { return f.caps }
+
+// FreeSegments returns the number of free (erased) segments.
+func (f *FTL) FreeSegments() int { return len(f.free) }
+
+// Stats returns cumulative statistics.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// DurableIdx returns the current durable watermark: all appends with index
+// < DurableIdx are on the storage surface.
+func (f *FTL) DurableIdx() uint64 { return f.durableIdx }
+
+// AppendIdx returns the next append index to be assigned.
+func (f *FTL) AppendIdx() uint64 { return f.appendIdx }
+
+// MappedPages returns the number of live logical pages.
+func (f *FTL) MappedPages() int { return len(f.mapping) }
+
+func (f *FTL) chipOf(slot int) int { return slot % f.geo.Chips() }
+func (f *FTL) pageOf(slot int) int { return slot / f.geo.Chips() }
+
+// Append writes one logical page to the log and returns its global append
+// index. It blocks while the log has no usable space or while the segment
+// seal barrier is in effect; it returns as soon as the program command is
+// issued (durability comes later — see WaitDurable).
+func (f *FTL) Append(p *sim.Proc, lpa uint64, data any) uint64 {
+	if lpa >= SealLPA {
+		panic("ftl: logical page address collides with reserved markers")
+	}
+	f.ensureActive(p)
+	seg := f.active
+	slot := seg.nextSlot
+	idx := f.appendIdx
+	f.appendIdx++
+	f.appendSeq++
+	seg.nextSlot++
+	seg.lpas[slot] = lpa
+	if seg.nextSlot == f.caps {
+		seg.sealed = true
+	}
+	f.invalidate(lpa)
+	f.mapping[lpa] = slotRef{seg: seg.id, slot: slot}
+	seg.valid++
+	f.stats.HostAppends++
+	f.program(seg, slot, nand.PageMeta{LPA: lpa, Seq: f.appendSeq}, data)
+	f.maybeTriggerGC()
+	return idx
+}
+
+// ensureActive guarantees f.active has a free slot, enforcing the seal
+// barrier: a new segment is opened only after every program of the previous
+// one has completed, so at most one segment is ever partially programmed.
+func (f *FTL) ensureActive(p *sim.Proc) {
+	if f.active != nil && f.active.nextSlot < f.caps {
+		return
+	}
+	if f.active != nil {
+		// Seal barrier: wait for the full segment to finish programming.
+		for f.active.prefixOK < f.active.nextSlot {
+			f.stats.Stalls++
+			f.durableCond.Wait(p)
+		}
+	}
+	for len(f.free) == 0 {
+		f.stats.Stalls++
+		f.maybeTriggerGC()
+		f.spaceCond.Wait(p)
+	}
+	id := f.free[0]
+	f.free = f.free[1:]
+	f.allocSeq++
+	seg := f.segs[id]
+	*seg = segment{
+		id:       id,
+		allocSeq: f.allocSeq,
+		done:     make([]bool, f.caps),
+		lpas:     make([]uint64, f.caps),
+		baseIdx:  f.appendIdx,
+	}
+	f.active = seg
+	// Slot 0 is the segment summary (allocation number in its metadata);
+	// recovery uses it to order segments.
+	slot := seg.nextSlot
+	seg.nextSlot++
+	f.appendIdx++ // summary consumes an append index so watermarks stay aligned
+	f.appendSeq++
+	seg.lpas[slot] = SummaryLPA
+	f.program(seg, slot, nand.PageMeta{LPA: SummaryLPA, Seq: seg.allocSeq}, nil)
+}
+
+func (f *FTL) program(seg *segment, slot int, meta nand.PageMeta, data any) {
+	f.arr.Submit(&nand.Request{
+		Kind: nand.OpProgram,
+		Chip: f.chipOf(slot), Block: seg.id, Page: f.pageOf(slot),
+		Meta: meta, Data: data,
+		Done: func(at sim.Time, r *nand.Request) {
+			if r.Err != nil {
+				panic(fmt.Sprintf("ftl: program failed: %v", r.Err))
+			}
+			f.programDone(seg, slot)
+		},
+	})
+}
+
+func (f *FTL) programDone(seg *segment, slot int) {
+	seg.done[slot] = true
+	for seg.prefixOK < f.caps && seg.done[seg.prefixOK] {
+		seg.prefixOK++
+	}
+	if seg == f.active {
+		f.durableIdx = seg.baseIdx + uint64(seg.prefixOK)
+		f.durableCond.Broadcast()
+	} else if seg.prefixOK == seg.nextSlot {
+		// Final program of a sealed previous segment; the active segment's
+		// watermark already covers it.
+		f.durableCond.Broadcast()
+	}
+}
+
+// invalidate drops the current mapping for lpa, if any, decrementing the
+// owning segment's valid count.
+func (f *FTL) invalidate(lpa uint64) {
+	if ref, ok := f.mapping[lpa]; ok {
+		f.segs[ref.seg].valid--
+		delete(f.mapping, lpa)
+	}
+}
+
+// Trim discards a logical page (e.g. freed filesystem block), making its
+// flash page garbage.
+func (f *FTL) Trim(lpa uint64) { f.invalidate(lpa) }
+
+// WaitDurable blocks until every append with index < idx is durable.
+func (f *FTL) WaitDurable(p *sim.Proc, idx uint64) {
+	for f.durableIdx < idx {
+		f.durableCond.Wait(p)
+	}
+}
+
+// Sync blocks until everything appended so far is durable.
+func (f *FTL) Sync(p *sim.Proc) { f.WaitDurable(p, f.appendIdx) }
+
+// Read returns the data most recently appended for lpa, issuing a NAND read
+// and blocking for its latency. ok is false for unmapped pages.
+func (f *FTL) Read(p *sim.Proc, lpa uint64) (data any, ok bool) {
+	ref, mapped := f.mapping[lpa]
+	if !mapped {
+		return nil, false
+	}
+	var out any
+	done := sim.NewCond(f.k)
+	f.arr.Submit(&nand.Request{
+		Kind: nand.OpRead,
+		Chip: f.chipOf(ref.slot), Block: ref.seg, Page: f.pageOf(ref.slot),
+		Done: func(at sim.Time, r *nand.Request) {
+			out = r.Data
+			done.Signal()
+		},
+	})
+	done.Wait(p)
+	return out, true
+}
+
+// --- garbage collection ---
+
+func (f *FTL) maybeTriggerGC() {
+	if len(f.free) <= f.cfg.GCLowWater && !f.gcBusy {
+		f.gcCond.Broadcast()
+	}
+}
+
+func (f *FTL) gcLoop(p *sim.Proc) {
+	for {
+		for len(f.free) > f.cfg.GCLowWater {
+			f.gcCond.Wait(p)
+		}
+		victim := f.pickVictim()
+		if victim == nil {
+			// Nothing reclaimable; wait for invalidations.
+			f.gcCond.Wait(p)
+			continue
+		}
+		f.gcBusy = true
+		f.collect(p, victim)
+		f.gcBusy = false
+		f.stats.GCRuns++
+		f.spaceCond.Broadcast()
+	}
+}
+
+// pickVictim returns the sealed segment with the fewest valid pages, or nil
+// if no sealed segment can be reclaimed profitably.
+func (f *FTL) pickVictim() *segment {
+	var best *segment
+	for _, s := range f.segs {
+		if s == f.active || !s.sealed || s.done == nil {
+			continue
+		}
+		if s.valid >= f.caps-1 { // only the summary would be reclaimed
+			continue
+		}
+		if best == nil || s.valid < best.valid {
+			best = s
+		}
+	}
+	return best
+}
+
+func (f *FTL) collect(p *sim.Proc, victim *segment) {
+	// Move every still-valid page to the head of the log.
+	var lastIdx uint64
+	for slot := 0; slot < victim.nextSlot; slot++ {
+		lpa := victim.lpas[slot]
+		if lpa >= SealLPA {
+			continue
+		}
+		ref, ok := f.mapping[lpa]
+		if !ok || ref.seg != victim.id || ref.slot != slot {
+			continue // overwritten since; garbage
+		}
+		// Read the page, then re-append.
+		data, _ := f.Read(p, lpa)
+		// Re-check validity: the host may have overwritten during the read.
+		ref, ok = f.mapping[lpa]
+		if !ok || ref.seg != victim.id || ref.slot != slot {
+			continue
+		}
+		f.ensureActive(p)
+		seg := f.active
+		ns := seg.nextSlot
+		idx := f.appendIdx
+		f.appendIdx++
+		f.appendSeq++
+		seg.nextSlot++
+		seg.lpas[ns] = lpa
+		if seg.nextSlot == f.caps {
+			seg.sealed = true
+		}
+		victim.valid--
+		f.mapping[lpa] = slotRef{seg: seg.id, slot: ns}
+		seg.valid++
+		f.stats.GCAppends++
+		f.program(seg, ns, nand.PageMeta{LPA: lpa, Seq: f.appendSeq}, data)
+		lastIdx = idx + 1
+	}
+	// The copies must be durable before the originals are destroyed,
+	// otherwise a crash between erase and program would lose data.
+	f.WaitDurable(p, lastIdx)
+	f.eraseSegment(p, victim)
+}
+
+func (f *FTL) eraseSegment(p *sim.Proc, seg *segment) {
+	pending := f.geo.Chips()
+	done := sim.NewCond(f.k)
+	for chip := 0; chip < f.geo.Chips(); chip++ {
+		f.arr.Submit(&nand.Request{
+			Kind: nand.OpErase, Chip: chip, Block: seg.id,
+			Done: func(at sim.Time, r *nand.Request) {
+				pending--
+				if pending == 0 {
+					done.Broadcast()
+				}
+			},
+		})
+	}
+	for pending > 0 {
+		done.Wait(p)
+	}
+	*seg = segment{id: seg.id}
+	f.free = append(f.free, seg.id)
+	f.stats.SegsErased++
+}
+
+// Utilization returns live pages / total data capacity.
+func (f *FTL) Utilization() float64 {
+	total := f.geo.BlocksPerChip * (f.caps - 1)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(f.mapping)) / float64(total)
+}
+
+// sortSegmentsByAlloc is used by recovery (see recovery.go) but lives here
+// to keep the segment type private.
+func (f *FTL) sortedByAlloc(ids []int, alloc map[int]uint64) {
+	sort.Slice(ids, func(i, j int) bool { return alloc[ids[i]] < alloc[ids[j]] })
+}

@@ -1,0 +1,490 @@
+// Package jbd implements filesystem journaling over the order-preserving
+// block layer, in three flavors:
+//
+//   - ModeJBD2: the EXT4 baseline (§2.3). A single JBD thread commits one
+//     transaction at a time, interleaving D, JD and JC with
+//     transfer-and-flush (Eq. 2: D→xfer→JD→xfer→flush→JC(FLUSH|FUA)).
+//   - ModeDual: BarrierFS Dual-Mode journaling (§4.2). A commit thread
+//     dispatches JD and JC as ordered barrier writes without waiting; a
+//     flush thread handles durability. Multiple transactions commit
+//     concurrently; the conflict-page list handles multi-transaction page
+//     conflicts (§4.3).
+//   - ModeOptFS: OptFS's osync() (§7): ordering-only commits that still use
+//     Wait-on-Transfer, plus selective data journaling.
+//
+// The journal occupies a fixed LPA window [Start, Start+Pages) used as a
+// circular log; a superblock at LPA SuperLPA records the checkpoint tail
+// for recovery.
+package jbd
+
+import (
+	"repro/internal/block"
+	"repro/internal/sim"
+)
+
+// Mode selects the journaling engine.
+type Mode int
+
+// Journaling engines.
+const (
+	ModeJBD2 Mode = iota
+	ModeDual
+	ModeOptFS
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeJBD2:
+		return "jbd2"
+	case ModeDual:
+		return "dual"
+	case ModeOptFS:
+		return "optfs"
+	}
+	return "invalid"
+}
+
+// Config tunes a journal instance.
+type Config struct {
+	Mode Mode
+	// BarrierMount mirrors the EXT4 barrier/nobarrier mount option: when
+	// false, the JBD2 engine never issues flush or FUA, giving the paper's
+	// EXT4-OD (ordering-only) configuration.
+	BarrierMount bool
+	// SuperLPA, Start and Pages define the on-disk layout.
+	SuperLPA uint64
+	Start    uint64
+	Pages    int
+	// CheckpointLow triggers checkpointing when free journal pages drop
+	// below this count.
+	CheckpointLow int
+	// WakeLatency is charged after every blocking wake-up (scheduler
+	// latency).
+	WakeLatency sim.Duration
+	// FlushInterval, for ModeOptFS, is the delayed-durability flush period.
+	FlushInterval sim.Duration
+}
+
+// DefaultConfig returns a journal layout for the standard stack geometry.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:          mode,
+		BarrierMount:  true,
+		SuperLPA:      0,
+		Start:         1,
+		Pages:         8192,
+		CheckpointLow: 2048,
+		WakeLatency:   15 * sim.Microsecond,
+		FlushInterval: 500 * sim.Millisecond,
+	}
+}
+
+// TxnState is the lifecycle of a transaction.
+type TxnState int
+
+// Transaction states.
+const (
+	StateRunning    TxnState = iota
+	StateCommitting          // handed to the commit machinery
+	StateCommitted           // JD and JC transferred (ordering established)
+	StateDurable             // on the storage surface
+)
+
+func (s TxnState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateCommitting:
+		return "committing"
+	case StateCommitted:
+		return "committed"
+	case StateDurable:
+		return "durable"
+	}
+	return "invalid"
+}
+
+// Buffer is a journaled metadata block handle. The filesystem owns it and
+// calls DirtyBuffer with a fresh immutable snapshot whenever the block
+// changes.
+type Buffer struct {
+	Home uint64 // in-place LPA
+	Data any    // latest snapshot
+	Name string // for diagnostics
+
+	// Snapshot, if set, is called once when the buffer is frozen into a
+	// committing transaction and must return an immutable copy of the
+	// block's current contents. This mirrors JBD2's frozen-buffer copy and
+	// lets owners avoid building a full snapshot on every dirtying write.
+	Snapshot func() any
+
+	owner     *Txn // committing transaction currently freezing this buffer
+	inRunning bool
+	conflict  bool // parked on the conflict-page list
+}
+
+// Pending reports whether the buffer has uncommitted changes (it sits in
+// the running transaction or on the conflict-page list).
+func (b *Buffer) Pending() bool { return b.inRunning || b.conflict }
+
+// logged is one frozen (home, snapshot) pair inside a committing txn.
+type logged struct {
+	home uint64
+	data any
+}
+
+// Txn is a journal transaction.
+type Txn struct {
+	id      uint64
+	buffers []*Buffer
+	frozen  []logged
+	state   TxnState
+
+	// dataDeps are ordered-mode data writes that must be on their way to
+	// the device before JD is written.
+	dataDeps []*block.Request
+
+	forced bool // committed even if empty (epoch delimiter)
+
+	// commitRequested marks a running transaction already queued to the
+	// Dual-Mode commit thread (which freezes it after the conflict-page
+	// list drains).
+	commitRequested bool
+
+	wantDurable   bool
+	jcTransferred bool
+	retired       bool // removed from the committing list (finishTxn ran)
+	pagesUsed     int
+
+	committedWaiters []*sim.Proc
+	durableWaiters   []*sim.Proc
+	k                *sim.Kernel
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the transaction state.
+func (t *Txn) State() TxnState { return t.state }
+
+// Empty reports whether the transaction has no frozen buffers and is not a
+// forced epoch delimiter.
+func (t *Txn) Empty() bool { return len(t.buffers) == 0 && len(t.frozen) == 0 && !t.forced }
+
+func (t *Txn) wakeCommitted() {
+	ws := t.committedWaiters
+	t.committedWaiters = nil
+	for _, w := range ws {
+		t.k.Resume(w)
+	}
+}
+
+func (t *Txn) wakeDurable() {
+	ws := t.durableWaiters
+	t.durableWaiters = nil
+	for _, w := range ws {
+		t.k.Resume(w)
+	}
+}
+
+// Stats are cumulative journal statistics.
+type Stats struct {
+	Commits         int64
+	EmptyCommits    int64
+	PagesLogged     int64
+	Checkpoints     int64
+	ConflictBlocks  int64 // JBD2: times a writer blocked on a committing txn
+	ConflictParked  int64 // Dual: buffers parked on the conflict-page list
+	Flushes         int64
+	MaxCommitting   int   // high-water mark of concurrently committing txns
+	CheckpointForce int64 // commits that had to wait for journal space
+}
+
+// Journal is one mounted journal.
+type Journal struct {
+	k     *sim.Kernel
+	layer *block.Layer
+	cfg   Config
+
+	running    *Txn
+	committing []*Txn // in commit order
+	nextTxnID  uint64
+
+	conflictList []*Buffer
+
+	commitQ   *sim.Queue[*Txn]
+	flushQ    *sim.Queue[*Txn]
+	ckptQ     []*Txn
+	ckptCond  *sim.Cond
+	spaceCond *sim.Cond
+	confCond  *sim.Cond
+	optfsCond *sim.Cond
+
+	head      uint64 // next journal slot sequence number
+	freePages int
+	tailTxn   uint64 // oldest un-checkpointed txn id
+
+	stats Stats
+}
+
+// New creates a journal and starts its engine threads.
+func New(k *sim.Kernel, layer *block.Layer, cfg Config) *Journal {
+	if cfg.Pages < 8 {
+		panic("jbd: journal too small")
+	}
+	j := &Journal{
+		k: k, layer: layer, cfg: cfg,
+		commitQ:   sim.NewQueue[*Txn](k),
+		flushQ:    sim.NewQueue[*Txn](k),
+		ckptCond:  sim.NewCond(k),
+		spaceCond: sim.NewCond(k),
+		confCond:  sim.NewCond(k),
+		optfsCond: sim.NewCond(k),
+		freePages: cfg.Pages,
+		nextTxnID: 1,
+		tailTxn:   1,
+	}
+	j.running = j.newTxn()
+	switch cfg.Mode {
+	case ModeDual:
+		k.Spawn("jbd/commit", j.dualCommitThread)
+		k.Spawn("jbd/flush", j.dualFlushThread)
+	case ModeOptFS:
+		k.Spawn("jbd/commit", j.optfsCommitThread)
+		k.Spawn("jbd/delayflush", j.optfsDelayedFlush)
+	default:
+		k.Spawn("jbd/jbd2", j.jbd2Thread)
+	}
+	k.Spawn("jbd/checkpoint", j.checkpointThread)
+	return j
+}
+
+// Config returns the journal configuration.
+func (j *Journal) Config() Config { return j.cfg }
+
+// Stats returns cumulative statistics.
+func (j *Journal) Stats() Stats { return j.stats }
+
+// FreePages returns the free journal slots.
+func (j *Journal) FreePages() int { return j.freePages }
+
+// Committing returns the number of transactions currently in flight.
+func (j *Journal) Committing() int { return len(j.committing) }
+
+// RunningBuffers returns the number of buffers in the running transaction.
+func (j *Journal) RunningBuffers() int { return len(j.running.buffers) }
+
+func (j *Journal) newTxn() *Txn {
+	t := &Txn{id: j.nextTxnID, state: StateRunning, k: j.k}
+	j.nextTxnID++
+	return t
+}
+
+func (j *Journal) wake(p *sim.Proc) {
+	if j.cfg.WakeLatency > 0 {
+		p.Advance(j.cfg.WakeLatency)
+	}
+}
+
+// DirtyBuffer records a new snapshot of buf into the running transaction.
+// It implements the page-conflict rules of §4.3: if the buffer belongs to a
+// committing transaction, a JBD2 writer blocks until that transaction
+// finishes, while a Dual-Mode writer parks the buffer on the conflict-page
+// list and continues.
+func (j *Journal) DirtyBuffer(p *sim.Proc, buf *Buffer, snapshot any) {
+	buf.Data = snapshot
+	if buf.inRunning || buf.conflict {
+		return
+	}
+	if buf.owner != nil {
+		if j.cfg.Mode == ModeDual {
+			j.stats.ConflictParked++
+			buf.conflict = true
+			j.conflictList = append(j.conflictList, buf)
+			return
+		}
+		j.stats.ConflictBlocks++
+		target := StateDurable
+		if !j.cfg.BarrierMount || j.cfg.Mode == ModeOptFS {
+			// nobarrier mounts and OptFS release frozen buffers at commit
+			// completion; only a barrier-mounted JBD2 holds them to
+			// durability (its commit *is* transfer-and-flush).
+			target = StateCommitted
+		}
+		for buf.owner != nil && buf.owner.state < target {
+			t := buf.owner
+			if target == StateDurable {
+				t.durableWaiters = append(t.durableWaiters, p)
+			} else {
+				t.committedWaiters = append(t.committedWaiters, p)
+			}
+			p.Suspend()
+			j.wake(p)
+		}
+	}
+	buf.owner = nil
+	buf.inRunning = true
+	j.running.buffers = append(j.running.buffers, buf)
+}
+
+// RegisterOrderedData attaches an ordered-mode data write to the running
+// transaction: the commit must not write JD until this request has been
+// transferred (JBD2) or has been dispatched in an earlier epoch (Dual).
+func (j *Journal) RegisterOrderedData(r *block.Request) {
+	j.running.dataDeps = append(j.running.dataDeps, r)
+}
+
+// freeze snapshots the running transaction's buffers and replaces the
+// running transaction. The caller must have ensured the conflict-page list
+// is empty, so every buffer destined for this transaction has joined it.
+func (j *Journal) freeze(t *Txn) {
+	t.state = StateCommitting
+	for _, b := range t.buffers {
+		data := b.Data
+		if b.Snapshot != nil {
+			data = b.Snapshot()
+		}
+		t.frozen = append(t.frozen, logged{home: b.Home, data: data})
+		b.owner = t
+		b.inRunning = false
+	}
+	j.running = j.newTxn()
+	j.committing = append(j.committing, t)
+	if len(j.committing) > j.stats.MaxCommitting {
+		j.stats.MaxCommitting = len(j.committing)
+	}
+}
+
+// closeRunning hands the running transaction to the commit engine. force
+// commits even an empty transaction (epoch delimiter). Returns nil if there
+// was nothing to commit.
+//
+// JBD2/OptFS freeze immediately: their conflict rule blocks writers, so the
+// conflict list is always empty here. Dual mode only *requests* the commit;
+// the commit thread freezes after the conflict-page list drains (§4.3), so
+// parked buffers — including the caller's own metadata — always land in
+// the transaction the caller waits on.
+func (j *Journal) closeRunning(p *sim.Proc, force bool) *Txn {
+	t := j.running
+	if t.Empty() && !force {
+		return nil
+	}
+	t.forced = t.forced || force
+	if j.cfg.Mode == ModeDual {
+		if !t.commitRequested {
+			t.commitRequested = true
+			j.commitQ.Put(t)
+		}
+		return t
+	}
+	j.freeze(t)
+	j.commitQ.Put(t)
+	return t
+}
+
+// CommitAndWait closes the running transaction and blocks until it is
+// durable (or merely committed, under nobarrier mounts). This is the
+// fsync() journal path.
+func (j *Journal) CommitAndWait(p *sim.Proc) *Txn {
+	t := j.closeRunning(p, false)
+	if t == nil {
+		// Nothing dirty: wait on the newest in-flight transaction, if any,
+		// for EXT4's "fsync finds committed txn" semantics.
+		if len(j.committing) == 0 {
+			return nil
+		}
+		t = j.committing[len(j.committing)-1]
+	}
+	t.wantDurable = true
+	j.WaitTxn(p, t)
+	return t
+}
+
+// WaitTxn blocks until t reaches the mount's durability target. When the
+// transaction is committed but no engine path will flush it (OptFS's
+// delayed-durability window, or a Dual-Mode ordering transaction that
+// already left the committing list), the caller issues the flush itself —
+// the dsync behaviour.
+func (j *Journal) WaitTxn(p *sim.Proc, t *Txn) {
+	target := StateDurable
+	if !j.cfg.BarrierMount {
+		target = StateCommitted
+	}
+	t.wantDurable = true
+	for t.state < target {
+		// OptFS: durability waiters first wait for the commit (osync's
+		// transfer wait), then flush directly below rather than stalling on
+		// the delayed-durability timer.
+		if j.cfg.Mode == ModeOptFS && target == StateDurable && t.state < StateCommitted {
+			t.committedWaiters = append(t.committedWaiters, p)
+			p.Suspend()
+			j.wake(p)
+			continue
+		}
+		if t.state == StateCommitted && target == StateDurable &&
+			(j.cfg.Mode == ModeOptFS || t.retired) {
+			j.retireCommitted(p)
+			if t.state < StateDurable {
+				t.state = StateDurable
+				t.wakeDurable()
+			}
+			return
+		}
+		if target == StateDurable {
+			t.durableWaiters = append(t.durableWaiters, p)
+		} else {
+			t.committedWaiters = append(t.committedWaiters, p)
+		}
+		p.Suspend()
+		j.wake(p)
+	}
+}
+
+// CommitOrdering closes the running transaction for an ordering-only caller
+// (fbarrier / osync). In Dual mode it returns once the commit thread has
+// dispatched the transaction; in OptFS mode once JD/JC are transferred.
+// force commits an empty transaction as an epoch delimiter.
+func (j *Journal) CommitOrdering(p *sim.Proc, force bool) *Txn {
+	t := j.closeRunning(p, force)
+	if t == nil {
+		// OptFS: the caller's metadata rides an in-flight commit; osync
+		// still waits for that commit's transfers (Wait-on-Transfer, §7).
+		if j.cfg.Mode == ModeOptFS && len(j.committing) > 0 {
+			t = j.committing[len(j.committing)-1]
+		} else {
+			return nil
+		}
+	}
+	for t.state < StateCommitted {
+		t.committedWaiters = append(t.committedWaiters, p)
+		p.Suspend()
+		j.wake(p)
+	}
+	return t
+}
+
+// slotLPA maps a journal sequence number to its on-disk LPA.
+func (j *Journal) slotLPA(seq uint64) uint64 {
+	return j.cfg.Start + seq%uint64(j.cfg.Pages)
+}
+
+// reserve takes n journal pages. Dropping below the checkpoint low-water
+// kicks the checkpointer early; the reservation itself only blocks when the
+// journal is actually out of space.
+func (j *Journal) reserve(p *sim.Proc, n int) {
+	if j.freePages-n < j.cfg.CheckpointLow {
+		j.ckptCond.Broadcast()
+	}
+	for j.freePages < n {
+		j.stats.CheckpointForce++
+		if j.cfg.Mode == ModeOptFS {
+			// OptFS retires transactions lazily; under space pressure the
+			// reserver forces the retirement so the checkpointer has work.
+			j.retireCommitted(p)
+		}
+		j.ckptCond.Broadcast()
+		j.spaceCond.Wait(p)
+		j.wake(p)
+	}
+	j.freePages -= n
+}

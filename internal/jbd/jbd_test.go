@@ -1,0 +1,389 @@
+package jbd
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// harness builds kernel + device + block layer + journal.
+type harness struct {
+	k   *sim.Kernel
+	dev *device.Device
+	l   *block.Layer
+	j   *Journal
+}
+
+func newHarness(mode Mode, barrier bool) *harness {
+	k := sim.NewKernel()
+	cfg := device.UFS()
+	cfg.QueueDepth = 16
+	cfg.DMAPerPage = 10 * sim.Microsecond
+	cfg.CmdOverhead = 2 * sim.Microsecond
+	dev := device.New(k, cfg)
+	l := block.NewLayer(k, dev, block.NewEpochScheduler(block.NewNOOP()), block.LayerConfig{
+		DispatchOverhead: sim.Microsecond,
+	})
+	jc := DefaultConfig(mode)
+	jc.BarrierMount = barrier
+	jc.Pages = 128
+	jc.CheckpointLow = 16
+	j := New(k, l, jc)
+	return &harness{k: k, dev: dev, l: l, j: j}
+}
+
+func (h *harness) run(body func(p *sim.Proc)) {
+	h.k.Spawn("app", body)
+	h.k.Run()
+}
+
+func (h *harness) close() { h.k.Close() }
+
+func TestJBD2CommitDurable(t *testing.T) {
+	h := newHarness(ModeJBD2, true)
+	defer h.close()
+	buf := &Buffer{Home: 2000, Name: "inode-1"}
+	h.run(func(p *sim.Proc) {
+		h.j.DirtyBuffer(p, buf, "v1")
+		txn := h.j.CommitAndWait(p)
+		if txn == nil || txn.State() != StateDurable {
+			t.Fatalf("txn state = %v", txn.State())
+		}
+	})
+	if h.j.Stats().Commits != 1 {
+		t.Errorf("commits = %d", h.j.Stats().Commits)
+	}
+	if h.j.Stats().Flushes == 0 {
+		t.Error("JBD2 barrier commit should flush")
+	}
+	// The journal records must be durable on the device.
+	rec := Scan(h.dev.DurableData, h.j.Config())
+	if len(rec.Applied) != 1 {
+		t.Fatalf("recovered %d txns, want 1", len(rec.Applied))
+	}
+	if rec.State[2000] != "v1" {
+		t.Errorf("recovered snapshot = %v", rec.State[2000])
+	}
+}
+
+func TestJBD2NobarrierDoesNotFlush(t *testing.T) {
+	h := newHarness(ModeJBD2, false)
+	defer h.close()
+	buf := &Buffer{Home: 2000}
+	h.run(func(p *sim.Proc) {
+		h.j.DirtyBuffer(p, buf, "v1")
+		txn := h.j.CommitAndWait(p)
+		if txn.State() != StateCommitted {
+			t.Errorf("nobarrier txn state = %v, want committed", txn.State())
+		}
+	})
+	if h.j.Stats().Flushes != 0 {
+		t.Errorf("nobarrier mount flushed %d times", h.j.Stats().Flushes)
+	}
+}
+
+func TestEmptyCommitDelimitsEpoch(t *testing.T) {
+	h := newHarness(ModeDual, true)
+	defer h.close()
+	h.run(func(p *sim.Proc) {
+		txn := h.j.CommitOrdering(p, true)
+		if txn == nil {
+			t.Fatal("forced empty commit returned nil")
+		}
+	})
+	if h.j.Stats().EmptyCommits != 1 {
+		t.Errorf("empty commits = %d", h.j.Stats().EmptyCommits)
+	}
+}
+
+func TestDualModeConcurrentCommits(t *testing.T) {
+	// fbarrier-style ordering commits must overlap: with 8 back-to-back
+	// ordering commits, more than one transaction must be in the committing
+	// state at once (Dual-Mode's defining property).
+	h := newHarness(ModeDual, true)
+	defer h.close()
+	h.run(func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			buf := &Buffer{Home: uint64(2000 + i)}
+			h.j.DirtyBuffer(p, buf, i)
+			h.j.CommitOrdering(p, false)
+		}
+		// Drain: wait for the last txn durably via an fsync-style call.
+		h.j.CommitAndWait(p)
+	})
+	if h.j.Stats().MaxCommitting < 2 {
+		t.Errorf("max committing = %d; Dual mode should pipeline commits", h.j.Stats().MaxCommitting)
+	}
+	if h.j.Stats().Commits != 8 {
+		t.Errorf("commits = %d", h.j.Stats().Commits)
+	}
+}
+
+func TestDualOrderingReturnsBeforeDurable(t *testing.T) {
+	h := newHarness(ModeDual, true)
+	defer h.close()
+	var orderingDone, jbd2Equivalent sim.Duration
+	h.run(func(p *sim.Proc) {
+		buf := &Buffer{Home: 2000}
+		h.j.DirtyBuffer(p, buf, "x")
+		t0 := p.Now()
+		h.j.CommitOrdering(p, false)
+		orderingDone = sim.Duration(p.Now() - t0)
+	})
+	h2 := newHarness(ModeJBD2, true)
+	defer h2.close()
+	h2.run(func(p *sim.Proc) {
+		buf := &Buffer{Home: 2000}
+		h2.j.DirtyBuffer(p, buf, "x")
+		t0 := p.Now()
+		h2.j.CommitAndWait(p)
+		jbd2Equivalent = sim.Duration(p.Now() - t0)
+	})
+	if orderingDone*2 > jbd2Equivalent {
+		t.Errorf("ordering commit (%v) not clearly faster than durable JBD2 commit (%v)",
+			orderingDone, jbd2Equivalent)
+	}
+}
+
+func TestDualFsyncDurable(t *testing.T) {
+	h := newHarness(ModeDual, true)
+	defer h.close()
+	h.run(func(p *sim.Proc) {
+		buf := &Buffer{Home: 2000}
+		h.j.DirtyBuffer(p, buf, "precious")
+		txn := h.j.CommitAndWait(p)
+		if txn.State() != StateDurable {
+			t.Fatalf("state = %v", txn.State())
+		}
+		rec := Scan(h.dev.DurableData, h.j.Config())
+		if rec.State[2000] != "precious" {
+			t.Errorf("journal content not durable after dual fsync: %v", rec.State[2000])
+		}
+	})
+}
+
+func TestJBD2ConflictBlocksWriter(t *testing.T) {
+	h := newHarness(ModeJBD2, true)
+	defer h.close()
+	buf := &Buffer{Home: 2000}
+	var redirtyAt, commitDone sim.Time
+	h.run(func(p *sim.Proc) {
+		h.j.DirtyBuffer(p, buf, "v1")
+		// Start a commit in the background.
+		committer := h.k.Spawn("committer", func(cp *sim.Proc) {
+			h.j.CommitAndWait(cp)
+			commitDone = cp.Now()
+		})
+		p.Sleep(5 * sim.Microsecond) // let the commit freeze the buffer
+		h.j.DirtyBuffer(p, buf, "v2")
+		redirtyAt = p.Now()
+		p.Join(committer)
+	})
+	if redirtyAt < commitDone {
+		t.Errorf("JBD2 writer redirtied frozen buffer at %v, before commit finished at %v",
+			redirtyAt, commitDone)
+	}
+	if h.j.Stats().ConflictBlocks == 0 {
+		t.Error("conflict not counted")
+	}
+}
+
+func TestDualConflictParksWithoutBlocking(t *testing.T) {
+	h := newHarness(ModeDual, true)
+	defer h.close()
+	buf := &Buffer{Home: 2000}
+	h.run(func(p *sim.Proc) {
+		h.j.DirtyBuffer(p, buf, "v1")
+		h.j.CommitOrdering(p, false) // freezes buf in committing txn
+		t0 := p.Now()
+		h.j.DirtyBuffer(p, buf, "v2") // must park, not block
+		if p.Now() != t0 {
+			t.Error("dual-mode DirtyBuffer blocked on conflict")
+		}
+		if h.j.Stats().ConflictParked != 1 {
+			t.Errorf("parked = %d", h.j.Stats().ConflictParked)
+		}
+		// The conflicted buffer lands in the running txn once the committing
+		// transaction retires; committing it must produce v2 in the journal.
+		h.j.CommitAndWait(p)
+		if h.j.RunningBuffers() != 0 {
+			// Buffer should have been committed by now (conflict resolved
+			// before the second commit closed).
+			t.Logf("note: buffer still running; conflict resolved later")
+		}
+		h.j.CommitAndWait(p)
+		rec := Scan(h.dev.DurableData, h.j.Config())
+		if rec.State[2000] != "v2" {
+			t.Errorf("final recovered value = %v, want v2", rec.State[2000])
+		}
+	})
+}
+
+func TestCheckpointReclaimsJournalSpace(t *testing.T) {
+	h := newHarness(ModeJBD2, true)
+	defer h.close()
+	h.run(func(p *sim.Proc) {
+		// Each commit logs 1 buffer = 3 pages; 128-page journal with
+		// low-water 16 forces checkpoints over 60 commits.
+		for i := 0; i < 60; i++ {
+			buf := &Buffer{Home: uint64(2000 + i%4)}
+			h.j.DirtyBuffer(p, buf, i)
+			h.j.CommitAndWait(p)
+		}
+	})
+	if h.j.Stats().Checkpoints == 0 {
+		t.Error("no checkpoints despite journal pressure")
+	}
+	if h.j.FreePages() <= 0 {
+		t.Errorf("free pages = %d", h.j.FreePages())
+	}
+	// After checkpointing, in-place homes hold the data.
+	found := 0
+	for i := 0; i < 4; i++ {
+		if _, ok := h.dev.DurableData(uint64(2000 + i)); ok {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("checkpoint never wrote home locations")
+	}
+}
+
+func TestOptFSCommitNoFlush(t *testing.T) {
+	h := newHarness(ModeOptFS, true)
+	defer h.close()
+	h.run(func(p *sim.Proc) {
+		buf := &Buffer{Home: 2000}
+		h.j.DirtyBuffer(p, buf, "opt")
+		txn := h.j.CommitOrdering(p, false)
+		if txn.State() != StateCommitted {
+			t.Errorf("state = %v", txn.State())
+		}
+		// No flush on the commit path; the delayed-durability flush fires
+		// much later (500ms), after this check.
+		if h.dev.Stats().Flushes != 0 {
+			t.Errorf("osync flushed %d times; OptFS must not flush on commit", h.dev.Stats().Flushes)
+		}
+	})
+}
+
+func TestOptFSDelayedDurability(t *testing.T) {
+	h := newHarness(ModeOptFS, true)
+	defer h.close()
+	var txn *Txn
+	h.k.Spawn("app", func(p *sim.Proc) {
+		buf := &Buffer{Home: 2000}
+		h.j.DirtyBuffer(p, buf, "late")
+		txn = h.j.CommitOrdering(p, false)
+	})
+	h.k.RunUntil(sim.Time(2 * sim.Second)) // beyond the delayed-flush interval
+	if txn.State() != StateDurable {
+		t.Errorf("state after delayed flush window = %v", txn.State())
+	}
+}
+
+func TestRecoveryStopsAtIncompleteTxn(t *testing.T) {
+	// Hand-build journal images to exercise the scan logic directly.
+	cfg := DefaultConfig(ModeJBD2)
+	cfg.Pages = 32
+	img := map[uint64]any{
+		cfg.SuperLPA: SuperBlock{TailTxn: 1},
+		// txn 1: complete.
+		cfg.Start + 0: DescBlock{TxnID: 1, N: 1},
+		cfg.Start + 1: LogBlock{TxnID: 1, Index: 0, Home: 500, Snapshot: "a"},
+		cfg.Start + 2: CommitBlock{TxnID: 1, N: 1},
+		// txn 2: missing its log block (crash mid-commit).
+		cfg.Start + 3: DescBlock{TxnID: 2, N: 1},
+		cfg.Start + 5: CommitBlock{TxnID: 2, N: 1},
+		// txn 3: complete, but must NOT be applied (ordering).
+		cfg.Start + 6: DescBlock{TxnID: 3, N: 1},
+		cfg.Start + 7: LogBlock{TxnID: 3, Index: 0, Home: 500, Snapshot: "c"},
+		cfg.Start + 8: CommitBlock{TxnID: 3, N: 1},
+	}
+	read := func(lpa uint64) (any, bool) { v, ok := img[lpa]; return v, ok }
+	rec := Scan(read, cfg)
+	if len(rec.Applied) != 1 || rec.Applied[0] != 1 {
+		t.Fatalf("applied = %v, want [1]", rec.Applied)
+	}
+	if rec.State[500] != "a" {
+		t.Errorf("state = %v; replay leaked past incomplete txn", rec.State[500])
+	}
+	if rec.Incomplete != 1 {
+		t.Errorf("incomplete = %d", rec.Incomplete)
+	}
+}
+
+func TestRecoveryRespectsTail(t *testing.T) {
+	cfg := DefaultConfig(ModeJBD2)
+	cfg.Pages = 16
+	img := map[uint64]any{
+		cfg.SuperLPA: SuperBlock{TailTxn: 2},
+		// Stale txn 1 (already checkpointed): must be ignored.
+		cfg.Start + 0: DescBlock{TxnID: 1, N: 1},
+		cfg.Start + 1: LogBlock{TxnID: 1, Index: 0, Home: 500, Snapshot: "stale"},
+		cfg.Start + 2: CommitBlock{TxnID: 1, N: 1},
+		cfg.Start + 3: DescBlock{TxnID: 2, N: 1},
+		cfg.Start + 4: LogBlock{TxnID: 2, Index: 0, Home: 500, Snapshot: "fresh"},
+		cfg.Start + 5: CommitBlock{TxnID: 2, N: 1},
+	}
+	read := func(lpa uint64) (any, bool) { v, ok := img[lpa]; return v, ok }
+	rec := Scan(read, cfg)
+	if rec.State[500] != "fresh" {
+		t.Errorf("state = %v", rec.State[500])
+	}
+	if len(rec.Applied) != 1 || rec.Applied[0] != 2 {
+		t.Errorf("applied = %v", rec.Applied)
+	}
+}
+
+func TestJournalCrashRecoveryEndToEnd(t *testing.T) {
+	// Commit transactions, crash mid-stream, recover, and check that the
+	// set of recovered transactions is a prefix.
+	h := newHarness(ModeDual, true)
+	committed := 0
+	h.k.Spawn("app", func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			buf := &Buffer{Home: uint64(3000 + i)}
+			h.j.DirtyBuffer(p, buf, i)
+			h.j.CommitAndWait(p)
+			committed++
+		}
+	})
+	h.k.RunUntil(sim.Time(20 * sim.Millisecond))
+	h.dev.Crash()
+	var rec Recovered
+	h.k.Spawn("recover", func(p *sim.Proc) {
+		d2 := device.Recover(p, h.dev)
+		rec = Scan(d2.DurableData, h.j.Config())
+	})
+	h.k.Run()
+	defer h.close()
+	if committed == 0 {
+		t.Skip("nothing committed before crash; widen the window")
+	}
+	// Every CommitAndWait that returned must be accounted for: either
+	// checkpointed in place (ids below the recovered tail) or replayed
+	// from the journal.
+	accounted := int(rec.TailTxn-1) + len(rec.Applied)
+	if accounted < committed {
+		t.Errorf("recovered %d txns (tail=%d), but %d fsync-style commits returned",
+			len(rec.Applied), rec.TailTxn, committed)
+	}
+	// Applied ids must be contiguous ascending.
+	for i := 1; i < len(rec.Applied); i++ {
+		if rec.Applied[i] != rec.Applied[i-1]+1 {
+			t.Fatalf("applied ids not contiguous: %v", rec.Applied)
+		}
+	}
+}
+
+func TestModeAndStateStrings(t *testing.T) {
+	if ModeJBD2.String() != "jbd2" || ModeDual.String() != "dual" || ModeOptFS.String() != "optfs" {
+		t.Error("mode strings")
+	}
+	if StateRunning.String() != "running" || StateDurable.String() != "durable" {
+		t.Error("state strings")
+	}
+}

@@ -1,0 +1,328 @@
+// Package nand models a multi-channel/multi-way NAND flash array at page
+// granularity. Each chip services program/read/erase jobs from its own
+// queue; chips on the same channel share the channel bus for data transfer,
+// so programs on different chips overlap (the parallelism the paper's Fig. 1
+// sweep exercises) while bus transfers serialize.
+//
+// Real NAND constraints that matter for the reproduction are enforced:
+// pages within a block must be programmed strictly in order, a page cannot
+// be reprogrammed without an erase, and a power failure loses any program
+// operation that has not completed — the physical basis of the FTL's
+// LFS-style in-order crash recovery (§3.2 of the paper).
+package nand
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Geometry describes the physical shape of the array.
+type Geometry struct {
+	Channels       int // independent channel buses
+	WaysPerChannel int // chips per channel
+	BlocksPerChip  int
+	PagesPerBlock  int
+	PageSize       int // bytes, informational (the simulator moves metadata, not payloads)
+}
+
+// Chips returns the total chip count.
+func (g Geometry) Chips() int { return g.Channels * g.WaysPerChannel }
+
+// PagesPerChip returns the number of pages on one chip.
+func (g Geometry) PagesPerChip() int { return g.BlocksPerChip * g.PagesPerBlock }
+
+// TotalPages returns the number of pages in the whole array.
+func (g Geometry) TotalPages() int { return g.Chips() * g.PagesPerChip() }
+
+// Validate reports a descriptive error for nonsensical geometry.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.WaysPerChannel <= 0 || g.BlocksPerChip <= 0 || g.PagesPerBlock <= 0 {
+		return fmt.Errorf("nand: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Timing holds the operation latencies of one page-sized unit.
+type Timing struct {
+	Program sim.Duration // cell program time (tPROG)
+	Read    sim.Duration // array read time (tR)
+	Erase   sim.Duration // block erase time (tBERS)
+	BusXfer sim.Duration // channel bus transfer of one page
+}
+
+// PageMeta is the out-of-band metadata stored with every programmed page.
+// The FTL uses it to rebuild the mapping table during recovery.
+type PageMeta struct {
+	LPA uint64 // logical page address
+	Seq uint64 // monotonically increasing log sequence number
+}
+
+// OpKind selects the NAND operation.
+type OpKind int
+
+// NAND operations.
+const (
+	OpProgram OpKind = iota
+	OpRead
+	OpErase
+)
+
+func (o OpKind) String() string {
+	switch o {
+	case OpProgram:
+		return "program"
+	case OpRead:
+		return "read"
+	case OpErase:
+		return "erase"
+	}
+	return "invalid"
+}
+
+// Request is one NAND job. Done, if non-nil, is invoked from the chip's
+// process when the operation completes; it never fires for jobs lost to a
+// power failure.
+type Request struct {
+	Kind  OpKind
+	Chip  int
+	Block int
+	Page  int // ignored for erase
+	Meta  PageMeta
+	Data  any
+	Done  func(at sim.Time, r *Request)
+
+	// Err is set before Done fires when the operation violated a NAND
+	// constraint (e.g. out-of-order program). Such operations do nothing.
+	Err error
+
+	gen uint64 // power-cycle generation at submit time
+}
+
+type pageState struct {
+	programmed bool
+	meta       PageMeta
+	data       any
+}
+
+type blockState struct {
+	next   int // next programmable page index
+	erases int
+	pages  []pageState
+}
+
+type chip struct {
+	id     int
+	ch     int
+	q      *sim.Queue[*Request]
+	blocks []blockState
+	proc   *sim.Proc
+}
+
+// Stats are cumulative operation counts.
+type Stats struct {
+	Programs int64
+	Reads    int64
+	Erases   int64
+	LostJobs int64 // jobs dropped by power failure
+	Faults   int64 // constraint violations (FTL bugs)
+}
+
+// Array is the flash array. All methods must be called from sim processes
+// (or before the kernel runs).
+type Array struct {
+	k      *sim.Kernel
+	geo    Geometry
+	timing Timing
+	buses  []*sim.Semaphore
+	chips  []*chip
+	gen    uint64 // incremented on every power failure
+	failed bool
+
+	// ProgramScale inflates program latency; the device layer uses it to
+	// model the 5% barrier-overhead penalty of the paper's plain-SSD setup.
+	ProgramScale float64
+
+	stats Stats
+}
+
+// New builds the array and spawns one service process per chip.
+func New(k *sim.Kernel, geo Geometry, timing Timing) *Array {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Array{k: k, geo: geo, timing: timing, ProgramScale: 1.0}
+	a.buses = make([]*sim.Semaphore, geo.Channels)
+	for i := range a.buses {
+		a.buses[i] = sim.NewSemaphore(k, 1)
+	}
+	for id := 0; id < geo.Chips(); id++ {
+		c := &chip{id: id, ch: id % geo.Channels, q: sim.NewQueue[*Request](k)}
+		c.blocks = make([]blockState, geo.BlocksPerChip)
+		for b := range c.blocks {
+			c.blocks[b].pages = make([]pageState, geo.PagesPerBlock)
+		}
+		a.chips = append(a.chips, c)
+		c.proc = k.Spawn(fmt.Sprintf("nand/chip%d", id), func(p *sim.Proc) { a.serve(p, c) })
+	}
+	return a
+}
+
+// Geometry returns the array geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Timing returns the array timing.
+func (a *Array) Timing() Timing { return a.timing }
+
+// Stats returns cumulative operation counts.
+func (a *Array) Stats() Stats { return a.stats }
+
+// QueueDepth returns the number of jobs queued for chip id.
+func (a *Array) QueueDepth(chipID int) int { return a.chips[chipID].q.Len() }
+
+// Submit enqueues a job on its chip. Submissions during a power failure are
+// dropped silently, like DMA into a dead device.
+func (a *Array) Submit(r *Request) {
+	if r.Chip < 0 || r.Chip >= len(a.chips) {
+		panic(fmt.Sprintf("nand: chip %d out of range", r.Chip))
+	}
+	if a.failed {
+		a.stats.LostJobs++
+		return
+	}
+	r.gen = a.gen
+	a.chips[r.Chip].q.Put(r)
+}
+
+func (a *Array) serve(p *sim.Proc, c *chip) {
+	for {
+		r, ok := c.q.Get(p)
+		if !ok {
+			return
+		}
+		if r.gen != a.gen || a.failed {
+			a.stats.LostJobs++
+			continue
+		}
+		switch r.Kind {
+		case OpProgram:
+			a.doProgram(p, c, r)
+		case OpRead:
+			a.doRead(p, c, r)
+		case OpErase:
+			a.doErase(p, c, r)
+		}
+	}
+}
+
+func (a *Array) doProgram(p *sim.Proc, c *chip, r *Request) {
+	blk := &c.blocks[r.Block]
+	if r.Page != blk.next {
+		r.Err = fmt.Errorf("nand: chip %d block %d: program page %d violates in-order rule (next=%d)",
+			c.id, r.Block, r.Page, blk.next)
+		a.stats.Faults++
+		if r.Done != nil {
+			r.Done(p.Now(), r)
+		}
+		return
+	}
+	bus := a.buses[c.ch]
+	bus.Acquire(p, 1)
+	p.Advance(a.timing.BusXfer)
+	bus.Release(1)
+	p.Advance(a.timing.Program.Scale(a.ProgramScale))
+	if r.gen != a.gen || a.failed {
+		// Power failed mid-program: the page is lost, not half-written in
+		// any observable way (we model clean page loss; the recovery scan
+		// treats it as unprogrammed).
+		a.stats.LostJobs++
+		return
+	}
+	blk.pages[r.Page] = pageState{programmed: true, meta: r.Meta, data: r.Data}
+	blk.next++
+	a.stats.Programs++
+	if r.Done != nil {
+		r.Done(p.Now(), r)
+	}
+}
+
+func (a *Array) doRead(p *sim.Proc, c *chip, r *Request) {
+	p.Advance(a.timing.Read)
+	bus := a.buses[c.ch]
+	bus.Acquire(p, 1)
+	p.Advance(a.timing.BusXfer)
+	bus.Release(1)
+	if r.gen != a.gen || a.failed {
+		a.stats.LostJobs++
+		return
+	}
+	ps := c.blocks[r.Block].pages[r.Page]
+	r.Meta, r.Data = ps.meta, ps.data
+	a.stats.Reads++
+	if r.Done != nil {
+		r.Done(p.Now(), r)
+	}
+}
+
+func (a *Array) doErase(p *sim.Proc, c *chip, r *Request) {
+	p.Advance(a.timing.Erase)
+	if r.gen != a.gen || a.failed {
+		a.stats.LostJobs++
+		return
+	}
+	blk := &c.blocks[r.Block]
+	blk.next = 0
+	blk.erases++
+	for i := range blk.pages {
+		blk.pages[i] = pageState{}
+	}
+	a.stats.Erases++
+	if r.Done != nil {
+		r.Done(p.Now(), r)
+	}
+}
+
+// Fail simulates power loss: all queued and in-flight jobs are lost and no
+// further completions fire until Restore.
+func (a *Array) Fail() {
+	a.failed = true
+	a.gen++
+}
+
+// Restore re-energizes the array after Fail. Programmed state survives; the
+// in-order program pointer of each block is recomputed from surviving pages
+// so partially written blocks continue after their last programmed page
+// (matching how the FTL's recovery reuses or seals partial segments).
+func (a *Array) Restore() {
+	a.failed = false
+	for _, c := range a.chips {
+		for b := range c.blocks {
+			blk := &c.blocks[b]
+			next := 0
+			for next < len(blk.pages) && blk.pages[next].programmed {
+				next++
+			}
+			blk.next = next
+		}
+	}
+}
+
+// Failed reports whether the array is currently powered off.
+func (a *Array) Failed() bool { return a.failed }
+
+// PageInfo returns the durable state of a page for recovery scans and
+// verification: whether it is programmed, and if so its metadata and data.
+func (a *Array) PageInfo(chipID, block, page int) (programmed bool, meta PageMeta, data any) {
+	ps := a.chips[chipID].blocks[block].pages[page]
+	return ps.programmed, ps.meta, ps.data
+}
+
+// BlockErases returns how many times a block has been erased (wear).
+func (a *Array) BlockErases(chipID, block int) int {
+	return a.chips[chipID].blocks[block].erases
+}
+
+// NextPage returns the in-order program pointer of a block.
+func (a *Array) NextPage(chipID, block int) int {
+	return a.chips[chipID].blocks[block].next
+}

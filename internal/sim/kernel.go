@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled wake-up for a process. token guards against stale
+// events: a process invalidates all of its outstanding events every time it
+// wakes, so a wake-up scheduled for a state the process has since left is
+// silently discarded.
+type event struct {
+	at    Time
+	seq   uint64
+	p     *Proc
+	token uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Kernel is the discrete-event scheduler. All simulation state hangs off a
+// single Kernel; exactly one process runs at any moment, so process code can
+// freely mutate shared simulation state without locks.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   []*Proc
+	live    int
+	cur     *Proc
+	stopped bool
+	closed  bool
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Cur returns the currently running process, or nil when called from outside
+// the simulation (before Run or between Run calls).
+func (k *Kernel) Cur() *Proc { return k.cur }
+
+// Live returns the number of processes that have not yet terminated.
+func (k *Kernel) Live() int { return k.live }
+
+// Procs returns all processes ever spawned, including dead ones.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+func (k *Kernel) schedule(at Time, p *Proc) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	k.events.pushEvent(event{at: at, seq: k.seq, p: p, token: p.token})
+}
+
+// Spawn creates a new process named name running fn and schedules it to
+// start at the current virtual time. It may be called before Run or from
+// inside a running process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	if k.closed {
+		panic("sim: Spawn on closed kernel")
+	}
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		fn:     fn,
+		state:  statePending,
+		resume: make(chan resumeMsg),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go p.run()
+	k.schedule(k.now, p)
+	return p
+}
+
+// Stop requests that the event loop return after the current process yields.
+// It may only be called from inside a running process.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run processes events until no runnable events remain or Stop is called.
+// It returns the final virtual time. Processes that are suspended forever
+// (daemons waiting on queues) do not keep Run alive; use Close to reap them.
+func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
+
+// RunUntil processes events with timestamps <= t, then sets the clock to t
+// if any events remain beyond it. It returns the final virtual time.
+func (k *Kernel) RunUntil(t Time) Time {
+	if k.closed {
+		panic("sim: RunUntil on closed kernel")
+	}
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := k.events.peek()
+		if e.at > t {
+			k.now = t
+			return k.now
+		}
+		k.events.popEvent()
+		if e.p.state == stateDead || e.token != e.p.token {
+			continue // stale wake-up
+		}
+		k.now = e.at
+		k.dispatch(e.p)
+	}
+	if len(k.events) == 0 && t != MaxTime && t > k.now {
+		k.now = t
+	}
+	return k.now
+}
+
+// Step processes exactly one event, returning false when none remain.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		e := k.events.popEvent()
+		if e.p.state == stateDead || e.token != e.p.token {
+			continue
+		}
+		k.now = e.at
+		k.dispatch(e.p)
+		return true
+	}
+	return false
+}
+
+func (k *Kernel) dispatch(p *Proc) {
+	k.cur = p
+	p.state = stateRunning
+	p.wakeups++
+	p.resume <- resumeMsg{}
+	<-k.yield
+	k.cur = nil
+}
+
+// Close terminates every live process, unwinding its goroutine. The kernel
+// must not be used afterwards. It is safe to call Close multiple times.
+func (k *Kernel) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	for _, p := range k.procs {
+		if p.state == stateDead {
+			continue
+		}
+		p.resume <- resumeMsg{kill: true}
+		<-k.yield
+	}
+	if k.live != 0 {
+		panic(fmt.Sprintf("sim: %d processes survived Close", k.live))
+	}
+}

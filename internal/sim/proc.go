@@ -1,0 +1,184 @@
+package sim
+
+import "errors"
+
+type procState int
+
+const (
+	statePending   procState = iota // spawned, not yet started
+	stateRunning                    // currently executing
+	stateScheduled                  // has a wake-up event in the queue
+	stateSuspended                  // blocked with no pending event
+	stateDead                       // terminated
+)
+
+func (s procState) String() string {
+	switch s {
+	case statePending:
+		return "pending"
+	case stateRunning:
+		return "running"
+	case stateScheduled:
+		return "scheduled"
+	case stateSuspended:
+		return "suspended"
+	case stateDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+type resumeMsg struct{ kill bool }
+
+// errKilled unwinds a process goroutine when the kernel is closed.
+var errKilled = errors.New("sim: process killed")
+
+// Proc is a simulated thread of control. Its methods must only be called
+// from its own goroutine while it is the running process, except where noted.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	fn     func(*Proc)
+	state  procState
+	resume chan resumeMsg
+	token  uint64
+
+	wakeups   int64 // times this process was dispatched
+	volSwitch int64 // voluntary context switches (blocking waits)
+
+	doneWaiters []*Proc
+}
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// ID returns the process's unique id (its spawn index).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Dead reports whether the process has terminated. Callable from anywhere.
+func (p *Proc) Dead() bool { return p.state == stateDead }
+
+// Wakeups returns the number of times the process has been dispatched by the
+// kernel. The delta across an operation approximates the number of times the
+// thread was switched in.
+func (p *Proc) Wakeups() int64 { return p.wakeups }
+
+// VoluntarySwitches returns the number of times the process has voluntarily
+// blocked (Sleep, Suspend, queue/cond/semaphore waits). Advance does not
+// count: it models computation, not blocking.
+func (p *Proc) VoluntarySwitches() int64 { return p.volSwitch }
+
+func (p *Proc) run() {
+	msg := <-p.resume
+	if msg.kill {
+		p.finish()
+		return
+	}
+	p.state = stateRunning
+	defer func() {
+		if r := recover(); r != nil {
+			if r != errKilled { //nolint:errorlint // sentinel identity check
+				panic(r)
+			}
+		}
+		p.finish()
+	}()
+	p.fn(p)
+}
+
+func (p *Proc) finish() {
+	p.state = stateDead
+	p.token++
+	p.k.live--
+	for _, w := range p.doneWaiters {
+		if w.state == stateSuspended {
+			w.state = stateScheduled
+			p.k.schedule(p.k.now, w)
+		}
+	}
+	p.doneWaiters = nil
+	p.k.yield <- struct{}{}
+}
+
+// block parks the process in the given state and hands control back to the
+// kernel. It returns when the kernel next dispatches this process.
+func (p *Proc) block(next procState, voluntary bool) {
+	if p.k.cur != p {
+		panic("sim: blocking call from process that is not running: " + p.name)
+	}
+	p.state = next
+	if voluntary {
+		p.volSwitch++
+	}
+	p.k.yield <- struct{}{}
+	msg := <-p.resume
+	p.token++ // invalidate any other outstanding wake-ups
+	if msg.kill {
+		panic(errKilled)
+	}
+	p.state = stateRunning
+}
+
+// Sleep blocks the process for d of virtual time. This models a genuine
+// blocking wait (timer, IO completion poll) and counts as a voluntary
+// context switch.
+func (p *Proc) Sleep(d Duration) {
+	p.k.schedule(p.k.now.Add(d), p)
+	p.block(stateScheduled, true)
+}
+
+// Advance moves the process d of virtual time forward, modelling on-CPU
+// computation. Other processes may run in the meantime (the simulated CPU
+// is not a contended resource unless wrapped in a Semaphore), but the wait
+// is not counted as a context switch.
+func (p *Proc) Advance(d Duration) {
+	if d <= 0 {
+		return
+	}
+	p.k.schedule(p.k.now.Add(d), p)
+	p.block(stateScheduled, false)
+}
+
+// Suspend blocks the process indefinitely until another process calls
+// Resume on it.
+func (p *Proc) Suspend() {
+	p.block(stateSuspended, true)
+}
+
+// Resume schedules a suspended process to run at the current virtual time.
+// It must be called from outside target's goroutine (from another process or
+// before Run). Resuming a process that is not suspended panics: it indicates
+// a lost-wakeup bug in the caller.
+func (k *Kernel) Resume(target *Proc) {
+	if target.state != stateSuspended {
+		panic("sim: Resume of non-suspended process " + target.name + " in state " + target.state.String())
+	}
+	target.state = stateScheduled
+	k.schedule(k.now, target)
+}
+
+// ResumeAt schedules a suspended process to run at time at.
+func (k *Kernel) ResumeAt(target *Proc, at Time) {
+	if target.state != stateSuspended {
+		panic("sim: ResumeAt of non-suspended process " + target.name + " in state " + target.state.String())
+	}
+	target.state = stateScheduled
+	k.schedule(at, target)
+}
+
+// Join blocks until target terminates. Joining a dead process returns
+// immediately.
+func (p *Proc) Join(target *Proc) {
+	if target.state == stateDead {
+		return
+	}
+	target.doneWaiters = append(target.doneWaiters, p)
+	p.Suspend()
+}

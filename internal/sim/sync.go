@@ -1,0 +1,182 @@
+package sim
+
+// Queue is an unbounded FIFO message queue between processes. Put never
+// blocks; Get blocks the calling process until an item is available or the
+// queue is closed. Wake-ups use Mesa semantics: a woken getter re-checks for
+// items and re-waits if another process stole them.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewQueue returns an empty queue on kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] {
+	return &Queue[T]{k: k}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends x and wakes one waiting getter, if any.
+func (q *Queue[T]) Put(x T) {
+	if q.closed {
+		panic("sim: Put on closed queue")
+	}
+	q.items = append(q.items, x)
+	q.wakeOne()
+}
+
+// PutFront prepends x (used for requeueing) and wakes one waiting getter.
+func (q *Queue[T]) PutFront(x T) {
+	if q.closed {
+		panic("sim: PutFront on closed queue")
+	}
+	q.items = append([]T{x}, q.items...)
+	q.wakeOne()
+}
+
+func (q *Queue[T]) wakeOne() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.state == stateSuspended {
+			q.k.Resume(w)
+			return
+		}
+	}
+}
+
+// Get removes and returns the head item, blocking while the queue is empty.
+// The second result is false if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (T, bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.Suspend()
+	}
+	x := q.items[0]
+	q.items = q.items[1:]
+	return x, true
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	x := q.items[0]
+	q.items = q.items[1:]
+	return x, true
+}
+
+// Close marks the queue closed and wakes all waiters; subsequent Gets drain
+// remaining items then report false.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	for _, w := range q.waiters {
+		if w.state == stateSuspended {
+			q.k.Resume(w)
+		}
+	}
+	q.waiters = nil
+}
+
+// Cond is a condition variable for processes. As with sync.Cond, the
+// condition itself lives in caller state; Wait must be used in a loop.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable on kernel k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait blocks the calling process until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.Suspend()
+}
+
+// Signal wakes one waiting process, if any.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.state == stateSuspended {
+			c.k.Resume(w)
+			return
+		}
+	}
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		if w.state == stateSuspended {
+			c.k.Resume(w)
+		}
+	}
+}
+
+// Waiters returns the number of processes currently parked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Semaphore is a counting semaphore, useful for modelling slot-limited
+// resources such as command-queue entries or a DMA bus.
+type Semaphore struct {
+	k     *Kernel
+	avail int
+	cap   int
+	cond  *Cond
+}
+
+// NewSemaphore returns a semaphore with n free slots.
+func NewSemaphore(k *Kernel, n int) *Semaphore {
+	return &Semaphore{k: k, avail: n, cap: n, cond: NewCond(k)}
+}
+
+// Acquire takes n slots, blocking until they are available.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if n > s.cap {
+		panic("sim: Acquire exceeds semaphore capacity")
+	}
+	for s.avail < n {
+		s.cond.Wait(p)
+	}
+	s.avail -= n
+}
+
+// TryAcquire takes n slots without blocking, reporting success.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if s.avail < n {
+		return false
+	}
+	s.avail -= n
+	return true
+}
+
+// Release returns n slots and wakes all waiters to re-contend.
+func (s *Semaphore) Release(n int) {
+	s.avail += n
+	if s.avail > s.cap {
+		panic("sim: Release beyond semaphore capacity")
+	}
+	s.cond.Broadcast()
+}
+
+// Avail returns the number of free slots.
+func (s *Semaphore) Avail() int { return s.avail }
+
+// InUse returns the number of held slots.
+func (s *Semaphore) InUse() int { return s.cap - s.avail }
+
+// Cap returns the semaphore capacity.
+func (s *Semaphore) Cap() int { return s.cap }

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](k)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(i)
+			p.Sleep(Microsecond)
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			v, ok := q.Get(p)
+			if !ok {
+				t.Error("queue closed unexpectedly")
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("queue not FIFO: %v", got)
+		}
+	}
+}
+
+func TestQueueBlocksWhenEmpty(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[string](k)
+	var gotAt Time
+	k.Spawn("consumer", func(p *Proc) {
+		v, _ := q.Get(p)
+		if v != "hello" {
+			t.Errorf("got %q", v)
+		}
+		gotAt = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(42 * Microsecond)
+		q.Put("hello")
+	})
+	k.Run()
+	if gotAt != Time(42*Microsecond) {
+		t.Errorf("consumer unblocked at %v, want 42µs", gotAt)
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](k)
+	drained := make([]int, 0)
+	closedSeen := false
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				closedSeen = true
+				return
+			}
+			drained = append(drained, v)
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		q.Put(1)
+		q.Put(2)
+		p.Sleep(Microsecond)
+		q.Close()
+	})
+	k.Run()
+	if !closedSeen {
+		t.Error("consumer did not observe close")
+	}
+	if len(drained) != 2 {
+		t.Errorf("drained %v, want [1 2]", drained)
+	}
+}
+
+func TestQueueMultipleConsumersNoLostItems(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](k)
+	const items = 100
+	var count int
+	for c := 0; c < 4; c++ {
+		k.Spawn("consumer", func(p *Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+				count++
+				p.Sleep(3 * Microsecond)
+			}
+		})
+	}
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < items; i++ {
+			q.Put(i)
+			if i%7 == 0 {
+				p.Sleep(Microsecond)
+			}
+		}
+		p.Sleep(Millisecond)
+		q.Close()
+	})
+	k.Run()
+	if count != items {
+		t.Errorf("consumed %d items, want %d", count, items)
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	c := NewCond(k)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	k.Spawn("signaler", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		c.Signal()
+		p.Sleep(10 * Microsecond)
+		if woke != 1 {
+			t.Errorf("after Signal woke = %d, want 1", woke)
+		}
+		c.Broadcast()
+	})
+	k.Run()
+	if woke != 3 {
+		t.Errorf("woke = %d, want 3", woke)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	sem := NewSemaphore(k, 2)
+	inside, maxInside := 0, 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("worker", func(p *Proc) {
+			sem.Acquire(p, 1)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(10 * Microsecond)
+			inside--
+			sem.Release(1)
+		})
+	}
+	k.Run()
+	if maxInside != 2 {
+		t.Errorf("max concurrent holders = %d, want 2", maxInside)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	sem := NewSemaphore(k, 1)
+	k.Spawn("p", func(p *Proc) {
+		if !sem.TryAcquire(1) {
+			t.Error("first TryAcquire failed")
+		}
+		if sem.TryAcquire(1) {
+			t.Error("second TryAcquire succeeded on full semaphore")
+		}
+		if sem.InUse() != 1 || sem.Avail() != 0 {
+			t.Errorf("InUse=%d Avail=%d, want 1,0", sem.InUse(), sem.Avail())
+		}
+		sem.Release(1)
+		if sem.Avail() != 1 {
+			t.Errorf("Avail after release = %d, want 1", sem.Avail())
+		}
+	})
+	k.Run()
+}
+
+func TestSemaphoreFIFOFairnessEventually(t *testing.T) {
+	// All acquirers must eventually get the semaphore (no starvation).
+	k := NewKernel()
+	defer k.Close()
+	sem := NewSemaphore(k, 1)
+	served := 0
+	const n = 20
+	for i := 0; i < n; i++ {
+		k.Spawn("w", func(p *Proc) {
+			sem.Acquire(p, 1)
+			p.Sleep(Microsecond)
+			served++
+			sem.Release(1)
+		})
+	}
+	k.Run()
+	if served != n {
+		t.Errorf("served = %d, want %d", served, n)
+	}
+}
+
+// Property: for any sequence of put/get interleavings, a queue delivers every
+// item exactly once in FIFO order.
+func TestQueueDeliveryProperty(t *testing.T) {
+	prop := func(delays []uint8) bool {
+		if len(delays) == 0 || len(delays) > 64 {
+			return true
+		}
+		k := NewKernel()
+		defer k.Close()
+		q := NewQueue[int](k)
+		var got []int
+		k.Spawn("producer", func(p *Proc) {
+			for i, d := range delays {
+				p.Sleep(Duration(d) * Microsecond)
+				q.Put(i)
+			}
+		})
+		k.Spawn("consumer", func(p *Proc) {
+			for range delays {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		k.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{70 * Microsecond, "70.00µs"},
+		{Duration(5.95 * float64(Millisecond)), "5.950ms"},
+		{2 * Second, "2.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+	if Time(1500).Add(500).Sub(Time(1000)) != 1000 {
+		t.Error("Add/Sub arithmetic wrong")
+	}
+	if (10 * Millisecond).Scale(0.5) != 5*Millisecond {
+		t.Error("Scale wrong")
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// DWSLConfig parameterizes the fxmark DWSL workload (Fig. 13): each thread
+// performs 4KB allocating writes followed by fsync on its own file, so
+// every sync commits a journal transaction. The per-core scalability of
+// journaling is exactly what Dual-Mode journaling improves.
+type DWSLConfig struct {
+	Threads  int
+	Duration sim.Duration
+	Warmup   sim.Duration
+}
+
+// DefaultDWSL returns the Fig. 13 setup for a core count.
+func DefaultDWSL(threads int) DWSLConfig {
+	return DWSLConfig{
+		Threads:  threads,
+		Duration: 300 * sim.Millisecond,
+		Warmup:   30 * sim.Millisecond,
+	}
+}
+
+// DWSLResult is the outcome of one DWSL run.
+type DWSLResult struct {
+	Threads int
+	Ops     int64
+	Window  sim.Duration
+	OpsPerS float64
+}
+
+func (r DWSLResult) String() string {
+	return fmt.Sprintf("%2d threads %9.0f ops/s", r.Threads, r.OpsPerS)
+}
+
+// DWSL runs the workload: one writer process per simulated core.
+func DWSL(k *sim.Kernel, s *core.Stack, cfg DWSLConfig) DWSLResult {
+	var ops int64
+	measuring := false
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		k.Spawn(fmt.Sprintf("dwsl/%d", t), func(p *sim.Proc) {
+			f, err := s.FS.Create(p, s.FS.Root(), fmt.Sprintf("dwsl-%d.dat", t))
+			if err != nil {
+				panic(err)
+			}
+			for idx := int64(0); ; idx++ {
+				s.FS.Write(p, f, idx) // allocating write: metadata always dirty
+				s.Sync(p, f)
+				if measuring {
+					ops++
+				}
+			}
+		})
+	}
+	k.RunUntil(k.Now().Add(cfg.Warmup))
+	measuring = true
+	start := k.Now()
+	k.RunUntil(start.Add(cfg.Duration))
+	measuring = false
+	end := k.Now()
+	return DWSLResult{
+		Threads: cfg.Threads,
+		Ops:     ops,
+		Window:  sim.Duration(end - start),
+		OpsPerS: metrics.Rate(ops, sim.Duration(end-start)),
+	}
+}
