@@ -293,6 +293,33 @@ func BenchmarkFig15(b *testing.B) {
 	}
 }
 
+// BenchmarkMQScaling compares the single-queue layer's device-global total
+// order against the multi-queue layer's per-stream epochs (internal/blkmq)
+// at each stream count: raw ordered 4KB writes, a barrier every eight
+// writes, on the NVMe-class device.
+func BenchmarkMQScaling(b *testing.B) {
+	for _, streams := range []int{1, 2, 4, 8} {
+		for _, mode := range []struct {
+			name string
+			hwq  func(streams int) int
+		}{
+			{"single-queue", func(int) int { return 0 }},
+			{"blkmq", func(s int) int { return s }},
+		} {
+			streams, mode := streams, mode
+			b.Run(fmt.Sprintf("streams=%d/%s", streams, mode.name), func(b *testing.B) {
+				var iops float64
+				var epochs int64
+				for n := 0; n < b.N; n++ {
+					iops, epochs = experiments.MQPoint(streams, mode.hwq(streams), 12*sim.Millisecond)
+				}
+				b.ReportMetric(iops, "IOPS")
+				b.ReportMetric(float64(epochs), "epochs")
+			})
+		}
+	}
+}
+
 // BenchmarkSimKernel measures raw simulator event throughput (ablation: the
 // substrate's own cost).
 func BenchmarkSimKernel(b *testing.B) {

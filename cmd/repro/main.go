@@ -6,7 +6,9 @@
 //	repro [-quick] [experiment ...]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// crash all. With no arguments, runs `all`.
+// mq crash all. With no arguments, runs `all`. The `mq` experiment is the
+// multi-queue scaling table (per-stream epochs vs the global total order)
+// added on top of the paper's evaluation.
 package main
 
 import (
@@ -76,6 +78,9 @@ func run(name string, scale experiments.Scale) error {
 	}
 	if all || name == "fig15" {
 		emit(experiments.Fig15(scale).String())
+	}
+	if all || name == "mq" {
+		emit(experiments.MQScaling(scale).String())
 	}
 	if all || name == "crash" {
 		emit(crashReport(scale))

@@ -1,0 +1,32 @@
+package blkmq_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// TestMQSpeedupOverSingleQueue is acceptance criterion (b): independent
+// streams on separate queues must beat the single-queue layer's IOPS
+// measurably on the same device and workload. It lives in an external test
+// package so it can share the experiments.MQPoint harness (the internal
+// package cannot import experiments without a cycle through core).
+func TestMQSpeedupOverSingleQueue(t *testing.T) {
+	dur := 15 * sim.Millisecond
+	if testing.Short() {
+		dur = 8 * sim.Millisecond
+	}
+	single, _ := experiments.MQPoint(2, 0, dur)
+	mq, _ := experiments.MQPoint(2, 2, dur)
+	t.Logf("2 streams: single-queue %.0f IOPS, MQ %.0f IOPS (%.2fx)", single, mq, mq/single)
+	if mq < single*1.2 {
+		t.Errorf("2 streams: MQ %.0f IOPS not measurably above single-queue %.0f IOPS", mq, single)
+	}
+	single4, _ := experiments.MQPoint(4, 0, dur)
+	mq4, _ := experiments.MQPoint(4, 4, dur)
+	t.Logf("4 streams: single-queue %.0f IOPS, MQ %.0f IOPS (%.2fx)", single4, mq4, mq4/single4)
+	if mq4 < single4*1.3 {
+		t.Errorf("4 streams: MQ %.0f IOPS not measurably above single-queue %.0f IOPS", mq4, single4)
+	}
+}

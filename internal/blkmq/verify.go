@@ -1,0 +1,61 @@
+package blkmq
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+)
+
+// streamState tracks verification progress through one stream's epochs.
+type streamState struct {
+	epoch       uint64
+	barrierSeen bool // the barrier closing the current epoch has dispatched
+}
+
+// VerifyTrace checks a dispatch trace against the per-stream epoch
+// invariants of §3.3, applied within each stream independently:
+//
+//  1. ordered requests of epoch k+1 never dispatch before the barrier of
+//     epoch k (the partial order between epochs is preserved);
+//  2. the barrier is the last ordered request of its epoch — nothing
+//     ordered from the same epoch follows it;
+//  3. epochs advance one at a time, and only across a barrier.
+//
+// Orderless requests, reads and flushes are unconstrained (rule 3 of §3.3:
+// they may be scheduled freely across epochs). Traces from the single-queue
+// block.Layer verify too — they are the one-stream special case.
+func VerifyTrace(trace []block.DispatchRecord) error {
+	states := make(map[uint64]*streamState)
+	for i, rec := range trace {
+		if rec.Op != block.OpWrite {
+			continue
+		}
+		if !rec.Flags.Has(block.FlagOrdered) && !rec.Flags.Has(block.FlagBarrier) {
+			continue
+		}
+		s, ok := states[rec.Stream]
+		if !ok {
+			s = &streamState{}
+			states[rec.Stream] = s
+		}
+		barrier := rec.Flags.Has(block.FlagBarrier)
+		switch {
+		case rec.Epoch == s.epoch:
+			if s.barrierSeen {
+				return fmt.Errorf("blkmq: record %d: stream %d dispatched an ordered request of epoch %d after that epoch's barrier", i, rec.Stream, rec.Epoch)
+			}
+			s.barrierSeen = barrier
+		case rec.Epoch == s.epoch+1:
+			if !s.barrierSeen {
+				return fmt.Errorf("blkmq: record %d: stream %d advanced to epoch %d without dispatching the barrier of epoch %d", i, rec.Stream, rec.Epoch, s.epoch)
+			}
+			s.epoch = rec.Epoch
+			s.barrierSeen = barrier
+		case rec.Epoch < s.epoch:
+			return fmt.Errorf("blkmq: record %d: stream %d cross-epoch inversion: epoch %d dispatched after epoch %d", i, rec.Stream, rec.Epoch, s.epoch)
+		default:
+			return fmt.Errorf("blkmq: record %d: stream %d skipped from epoch %d to %d", i, rec.Stream, s.epoch, rec.Epoch)
+		}
+	}
+	return nil
+}

@@ -24,11 +24,27 @@ type LayerConfig struct {
 
 // DispatchRecord is one entry of the dispatch trace.
 type DispatchRecord struct {
-	At    sim.Time
-	LPA   uint64
-	Op    Op
-	Flags Flags
-	Epoch uint64
+	At     sim.Time
+	LPA    uint64
+	Op     Op
+	Flags  Flags
+	Epoch  uint64
+	Stream uint64
+	// HWQueue is the hardware dispatch queue that issued the command (always
+	// 0 on the single-queue Layer).
+	HWQueue int
+}
+
+// Submitter is the request-submission surface a filesystem stack builds on.
+// It is satisfied by the single-queue *Layer and by the multi-queue
+// blkmq.MQ front-end.
+type Submitter interface {
+	// Submit queues a request without waiting for it.
+	Submit(p *sim.Proc, r *Request)
+	// SubmitAndWait submits r and blocks until completion (Wait-on-Transfer).
+	SubmitAndWait(p *sim.Proc, r *Request)
+	// Flush issues a standalone cache flush and waits for it.
+	Flush(p *sim.Proc)
 }
 
 // LayerStats are cumulative block-layer statistics.
@@ -94,8 +110,7 @@ func (l *Layer) Submit(p *sim.Proc, r *Request) {
 	for l.queued() >= l.cfg.QueueLimit {
 		l.congest.Wait(p)
 	}
-	r.k = l.k
-	r.issued = l.k.Now()
+	r.Bind(l.k, l.k.Now())
 	l.stats.Submitted++
 	if len(l.staged) > 0 || !l.sched.Add(r) {
 		l.staged = append(l.staged, r)
@@ -142,6 +157,7 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 		if l.cfg.Trace {
 			l.trace = append(l.trace, DispatchRecord{
 				At: p.Now(), LPA: r.LPA, Op: r.Op, Flags: r.Flags, Epoch: r.epoch,
+				Stream: r.Stream,
 			})
 		}
 		cmd := l.toCommand(r)
@@ -176,12 +192,26 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 }
 
 func (l *Layer) toCommand(r *Request) *device.Command {
+	return r.ToCommand(func(sim.Time, *Request) { l.stats.Completed++ })
+}
+
+// ToCommand converts the request into its device command under
+// order-preserving dispatch (§3.4): barrier writes and flushes carry ordered
+// priority, FUA/PreFlush map to their command fields, and the command
+// inherits the request's stream so device-level ordering scopes correctly.
+// done, if non-nil, fires at completion after the request's own bookkeeping
+// (waiter wake-ups, OnComplete). Both the single-queue Layer and the
+// multi-queue blkmq front-end dispatch through it.
+func (r *Request) ToCommand(done func(at sim.Time, r *Request)) *device.Command {
 	c := &device.Command{
-		LPA:  r.LPA,
-		Data: r.Data,
+		LPA:    r.LPA,
+		Data:   r.Data,
+		Stream: r.Stream,
 		Done: func(at sim.Time, _ *device.Command) {
-			l.stats.Completed++
 			r.complete(at)
+			if done != nil {
+				done(at, r)
+			}
 		},
 	}
 	switch r.Op {

@@ -27,6 +27,12 @@ const (
 	// FlagFUA forces the block to the storage surface before completion
 	// (REQ_FUA).
 	FlagFUA
+	// FlagBackground marks best-effort background writeback (REQ_BACKGROUND):
+	// no caller is waiting on the request and it carries no ordering promise.
+	// The multi-queue layer scatters such requests onto data streams so they
+	// never sit in front of foreground traffic; it is purely a host-side
+	// hint and never reaches the device.
+	FlagBackground
 )
 
 // Has reports whether all bits in f2 are set.
@@ -63,6 +69,13 @@ type Request struct {
 	// PID identifies the issuing thread; the CFQ scheduler keeps one queue
 	// per PID.
 	PID int
+	// Stream identifies the ordering domain of the request (§8's per-stream
+	// barriers). Ordering and barrier semantics hold only among requests of
+	// the same stream; requests of different streams are mutually orderless.
+	// The single-queue Layer ignores it (everything rides stream 0); the
+	// multi-queue layer (internal/blkmq) keys epochs and device-level command
+	// ordering on it.
+	Stream uint64
 
 	// OnComplete, if set, fires at IO completion (interrupt context: it must
 	// not block; use it to Resume waiting processes or tally counters).
@@ -87,6 +100,14 @@ func (r *Request) Epoch() uint64 { return r.epoch }
 
 // IssuedAt returns the submission time.
 func (r *Request) IssuedAt() sim.Time { return r.issued }
+
+// Bind attaches the request to kernel k and stamps its submission time.
+// Submission front-ends (the single-queue Layer, the multi-queue blkmq.MQ)
+// call it exactly once when the request enters the layer.
+func (r *Request) Bind(k *sim.Kernel, at sim.Time) {
+	r.k = k
+	r.issued = at
+}
 
 // Wait blocks the calling process until the request completes. This is the
 // Wait-on-Transfer primitive of the legacy stack (§2.2): callers in the

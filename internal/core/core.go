@@ -12,6 +12,7 @@
 package core
 
 import (
+	"repro/internal/blkmq"
 	"repro/internal/block"
 	"repro/internal/device"
 	"repro/internal/fs"
@@ -43,6 +44,12 @@ type Profile struct {
 	// BarrierAsCommand selects the §3.2 alternative barrier encoding
 	// (standalone command instead of write flag) for ablation studies.
 	BarrierAsCommand bool
+	// MQQueues selects the multi-queue block layer (internal/blkmq) with
+	// that many hardware dispatch queues; 0 keeps the single-queue Layer.
+	// With MQ, ordered/barrier traffic stays on stream 0 (the journal's
+	// ordering domain) while orderless writeback scatters over per-PID data
+	// streams, so background IO bypasses foreground barriers.
+	MQQueues int
 }
 
 // EXT4DR is plain EXT4 with full durability (transfer-and-flush).
@@ -80,6 +87,23 @@ func BFSOD(dev device.Config) Profile {
 	return p
 }
 
+// EXT4MQ is EXT4-DR on the multi-queue block layer: full durability with
+// per-stream epochs and four hardware dispatch queues.
+func EXT4MQ(dev device.Config) Profile {
+	p := EXT4DR(dev)
+	p.Name = "EXT4-MQ"
+	p.MQQueues = 4
+	return p
+}
+
+// BFSMQ is BFS-DR on the multi-queue block layer.
+func BFSMQ(dev device.Config) Profile {
+	p := BFSDR(dev)
+	p.Name = "BFS-MQ"
+	p.MQQueues = 4
+	return p
+}
+
 // OptFS is the OptFS baseline: osync()-style ordering-only journaling.
 func OptFS(dev device.Config) Profile {
 	return tune(Profile{
@@ -114,28 +138,47 @@ type Stack struct {
 	Profile Profile
 	K       *sim.Kernel
 	Dev     *device.Device
-	Layer   *block.Layer
-	FS      *fs.FS
+	// Layer is the single-queue block layer; nil on MQ profiles.
+	Layer *block.Layer
+	// MQ is the multi-queue block layer; nil on single-queue profiles.
+	MQ *blkmq.MQ
+	// Front is whichever block-layer front-end the filesystem mounts on.
+	Front block.Submitter
+	FS    *fs.FS
 }
 
 // NewStack builds a stack on kernel k.
 func NewStack(k *sim.Kernel, prof Profile) *Stack {
 	dev := device.New(k, prof.Device)
-	var base block.Scheduler
-	switch prof.Sched {
-	case SchedCFQ:
-		base = block.NewCFQ()
-	case SchedDeadline:
-		base = block.NewDeadline(func() sim.Time { return k.Now() }, 0)
-	default:
-		base = block.NewNOOP()
+	mkSched := func() block.Scheduler {
+		switch prof.Sched {
+		case SchedCFQ:
+			return block.NewCFQ()
+		case SchedDeadline:
+			return block.NewDeadline(func() sim.Time { return k.Now() }, 0)
+		default:
+			return block.NewNOOP()
+		}
 	}
-	layer := block.NewLayer(k, dev, block.NewEpochScheduler(base), block.LayerConfig{
-		DispatchOverhead: prof.DispatchOverhead,
-		BarrierAsCommand: prof.BarrierAsCommand,
-	})
-	f := fs.New(k, layer, prof.FS)
-	return &Stack{Profile: prof, K: k, Dev: dev, Layer: layer, FS: f}
+	s := &Stack{Profile: prof, K: k, Dev: dev}
+	if prof.MQQueues > 0 {
+		s.MQ = blkmq.New(k, dev, blkmq.Config{
+			HWQueues:         prof.MQQueues,
+			DispatchOverhead: prof.DispatchOverhead,
+			BaseSched:        mkSched,
+			SpreadOrderless:  true,
+			BarrierAsCommand: prof.BarrierAsCommand,
+		})
+		s.Front = s.MQ
+	} else {
+		s.Layer = block.NewLayer(k, dev, block.NewEpochScheduler(mkSched()), block.LayerConfig{
+			DispatchOverhead: prof.DispatchOverhead,
+			BarrierAsCommand: prof.BarrierAsCommand,
+		})
+		s.Front = s.Layer
+	}
+	s.FS = fs.New(k, s.Front, prof.FS)
+	return s
 }
 
 // Sync invokes the profile's durability-or-ordering call on the file:

@@ -65,6 +65,14 @@ type Command struct {
 	Data any
 	Prio Priority
 
+	// Stream is the ordering domain of the command. The SCSI priority rules
+	// (ordered / simple / head-of-queue) are enforced only among commands of
+	// the same stream, so a barrier in one stream never stalls another
+	// stream's traffic — the per-stream barrier scoping of the paper's §8.
+	// Single-queue hosts leave every command on stream 0, which restores the
+	// classic device-global total order.
+	Stream uint64
+
 	// FUA forces the page to the storage surface before completion.
 	FUA bool
 	// PreFlush flushes the writeback cache before servicing the command

@@ -136,6 +136,17 @@ func ufsTiming() nand.Timing {
 	}
 }
 
+// nvmeTiming approximates a fast NVMe part writing into an SLC cache
+// region: programs land quickly and migrate later (not modelled).
+func nvmeTiming() nand.Timing {
+	return nand.Timing{
+		Program: 250 * sim.Microsecond,
+		Read:    40 * sim.Microsecond,
+		Erase:   3 * sim.Millisecond,
+		BusXfer: 3 * sim.Microsecond,
+	}
+}
+
 // tlcTiming approximates a TLC NAND part (the paper's plain-SSD uses TLC).
 func tlcTiming() nand.Timing {
 	return nand.Timing{
@@ -192,6 +203,22 @@ func SupercapSSD() Config {
 		CmdOverhead: 4 * sim.Microsecond,
 		Geometry:    geometry(8, 4),
 		Timing:      mlcTiming(),
+	})
+}
+
+// NVMeSSD returns a barrier-enabled NVMe-class device: sixteen channels,
+// eight ways, a deep queue and a fast link. The flash array drains faster
+// than the host can feed it, so ordering stalls — not the transfer or the
+// NAND — are the bottleneck: exactly the regime where per-stream barriers
+// (internal/blkmq) pay off over a device-global total order.
+func NVMeSSD() Config {
+	return defaults(Config{
+		Name: "NVMe-SSD", QueueDepth: 64, CachePages: 4096,
+		BarrierSupport: true,
+		DMAPerPage:     3 * sim.Microsecond,
+		CmdOverhead:    4 * sim.Microsecond,
+		Geometry:       geometry(16, 8),
+		Timing:         nvmeTiming(),
 	})
 }
 

@@ -29,7 +29,8 @@ type cacheEntry struct {
 	seq     uint64 // cache arrival order == transfer order
 	lpa     uint64
 	data    any
-	epoch   uint64
+	stream  uint64
+	epoch   uint64 // write epoch within the stream
 	urgent  bool   // FUA: write back immediately
 	started bool   // handed to the FTL appender
 	idx     uint64 // FTL append index, valid once started
@@ -55,7 +56,7 @@ type Device struct {
 	dirtyN   int // entries not yet handed to the FTL appender
 	urgentN  int // dirty entries with FUA urgency
 	readMap  map[uint64]any
-	curEpoch uint64
+	epochs   map[uint64]uint64 // per-stream write epoch (barrier count)
 
 	dmaBus *sim.Semaphore
 
@@ -94,6 +95,7 @@ func newDevice(k *sim.Kernel, cfg Config, arr *nand.Array) *Device {
 		k: k, cfg: cfg, arr: arr,
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		readMap:   make(map[uint64]any),
+		epochs:    make(map[uint64]uint64),
 		dmaBus:    sim.NewSemaphore(k, 1),
 		pickCond:  sim.NewCond(k),
 		spaceCond: sim.NewCond(k),
@@ -131,8 +133,12 @@ func (d *Device) QDSeries() *metrics.Series { return d.qdSeries }
 // service).
 func (d *Device) Occupancy() int { return len(d.queued) + len(d.inflight) }
 
-// CurEpoch returns the device's current write epoch (barrier count + 1).
-func (d *Device) CurEpoch() uint64 { return d.curEpoch }
+// CurEpoch returns the write epoch of stream 0 (the only stream a
+// single-queue host uses), i.e. the device-global barrier count.
+func (d *Device) CurEpoch() uint64 { return d.epochs[0] }
+
+// StreamEpoch returns the current write epoch of one stream.
+func (d *Device) StreamEpoch(stream uint64) uint64 { return d.epochs[stream] }
 
 // Dead reports whether the device has crashed.
 func (d *Device) Dead() bool { return d.dead }
@@ -167,32 +173,34 @@ func (d *Device) WaitSpace(p *sim.Proc) {
 // --- command servicing ---
 
 // eligible reports whether queued command c may begin service under SCSI
-// ordering rules, given every incomplete command with a smaller sequence
-// number.
+// ordering rules, given every incomplete command of the same stream with a
+// smaller sequence number. Ordering is scoped per stream: commands of other
+// streams never constrain c, which is what lets independent streams proceed
+// through their own barriers concurrently.
 func (d *Device) eligible(c *Command) bool {
 	switch c.Prio {
 	case PrioHeadOfQueue:
 		return true
 	case PrioOrdered:
 		for _, o := range d.inflight {
-			if o.seq < c.seq {
+			if o.Stream == c.Stream && o.seq < c.seq {
 				return false
 			}
 		}
 		for _, o := range d.queued {
-			if o.seq < c.seq {
+			if o.Stream == c.Stream && o.seq < c.seq {
 				return false
 			}
 		}
 		return true
 	default: // simple: must not pass an earlier ordered/head-of-queue command
 		for _, o := range d.inflight {
-			if o.seq < c.seq && o.Prio != PrioSimple {
+			if o.Stream == c.Stream && o.seq < c.seq && o.Prio != PrioSimple {
 				return false
 			}
 		}
 		for _, o := range d.queued {
-			if o.seq < c.seq && o.Prio != PrioSimple {
+			if o.Stream == c.Stream && o.seq < c.seq && o.Prio != PrioSimple {
 				return false
 			}
 		}
@@ -249,7 +257,7 @@ func (d *Device) service(p *sim.Proc, c *Command) {
 		d.doFlush(p)
 	case CmdBarrier:
 		d.stats.Barriers++
-		d.curEpoch++
+		d.epochs[c.Stream]++
 		if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
 			d.barrierOn = true
 			d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty
@@ -293,7 +301,8 @@ func (d *Device) doWrite(p *sim.Proc, c *Command) {
 		return
 	}
 	d.entrySeq++
-	e := &cacheEntry{seq: d.entrySeq, lpa: c.LPA, data: c.Data, epoch: d.curEpoch, urgent: c.FUA}
+	e := &cacheEntry{seq: d.entrySeq, lpa: c.LPA, data: c.Data,
+		stream: c.Stream, epoch: d.epochs[c.Stream], urgent: c.FUA}
 	d.entries = append(d.entries, e)
 	d.dirtyN++
 	if e.urgent {
@@ -303,7 +312,7 @@ func (d *Device) doWrite(p *sim.Proc, c *Command) {
 	d.stats.Writes++
 	if c.Barrier {
 		d.stats.Barriers++
-		d.curEpoch++
+		d.epochs[c.Stream]++
 		if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
 			d.barrierOn = true
 			d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty

@@ -6,9 +6,20 @@ import (
 )
 
 // The experiment tests run everything at Quick scale and assert the
-// paper's qualitative shapes, not absolute numbers.
+// paper's qualitative shapes, not absolute numbers. Even at Quick scale the
+// full set takes tens of seconds, so every test is gated behind
+// testing.Short(): `go test -short ./...` skips them and finishes fast.
+
+// skipIfShort skips a simulation-heavy experiment test under -short.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping slow experiment in -short mode")
+	}
+}
 
 func TestFig1Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig1(Quick)
 	if len(res.Rows) != 7 {
 		t.Fatalf("rows = %d", len(res.Rows))
@@ -31,6 +42,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig9(Quick)
 	if len(res.Rows) != 12 {
 		t.Fatalf("rows = %d", len(res.Rows))
@@ -65,6 +77,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Traces(t *testing.T) {
+	skipIfShort(t)
 	rs := Fig10(Quick)
 	if len(rs) != 2 {
 		t.Fatalf("devices = %d", len(rs))
@@ -83,6 +96,7 @@ func TestFig10Traces(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Table1(Quick)
 	if len(res.Rows) != 6 {
 		t.Fatalf("rows = %d", len(res.Rows))
@@ -119,6 +133,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig11(Quick)
 	if len(res.Rows) != 12 {
 		t.Fatalf("rows = %d", len(res.Rows))
@@ -148,6 +163,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig12(Quick)
 	// fsync keeps the queue shallow; fbarrier saturates it (paper: 2 vs 15).
 	if res.FsyncPeakQD > 6 {
@@ -160,6 +176,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig13(Quick)
 	get := func(dev, fsName string, th int) float64 {
 		for _, r := range res.Rows {
@@ -187,6 +204,7 @@ func TestFig13Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig8(Quick)
 	if len(res.Rows) != 4 {
 		t.Fatalf("rows = %d", len(res.Rows))
@@ -202,6 +220,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig14(Quick)
 	get := func(dev, cfg string, mode string) float64 {
 		for _, r := range res.Rows {
@@ -235,6 +254,7 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestFig15Shape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig15(Quick)
 	get := func(dev, wl, cfg string) float64 {
 		for _, r := range res.Rows {
@@ -257,6 +277,7 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestRenderers(t *testing.T) {
+	skipIfShort(t)
 	if !strings.Contains(Table1(Quick).String(), "Table 1") {
 		t.Error("table1 render")
 	}

@@ -143,17 +143,60 @@ func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast boo
 		if f.opts.Mode == Ordered && i.MetaPending() {
 			f.j.RegisterOrderedData(r)
 		}
+		i.trackInflight(r)
 		f.layer.Submit(p, r)
 	}
 	return plan
 }
 
+// trackInflight records a submitted writeback request on the inode until it
+// completes, so sync calls can wait on it (see waitCrossStream).
+func (i *Inode) trackInflight(r *block.Request) {
+	i.inflight = append(i.inflight, r)
+	prev := r.OnComplete
+	r.OnComplete = func(at sim.Time, rr *block.Request) {
+		for n, o := range i.inflight {
+			if o == rr {
+				i.inflight = append(i.inflight[:n], i.inflight[n+1:]...)
+				break
+			}
+		}
+		if prev != nil {
+			prev(at, rr)
+		}
+	}
+}
+
+// waitCrossStream blocks until every in-flight writeback request of the
+// inode that rides a non-zero stream has transferred. The multi-queue layer
+// scatters background writeback onto data streams, where neither stream 0's
+// barriers nor its flush command can order or cover it — so the sync calls
+// fall back to Wait-on-Transfer for exactly those requests, like the
+// kernel's filemap_fdatawait. On the single-queue layer every request is on
+// stream 0 and this is a no-op.
+func (f *FS) waitCrossStream(p *sim.Proc, i *Inode) {
+	for {
+		var pending *block.Request
+		for _, r := range i.inflight {
+			if r.Stream != 0 && !r.Completed() {
+				pending = r
+				break
+			}
+		}
+		if pending == nil {
+			return
+		}
+		pending.Wait(p)
+		f.wake(p)
+	}
+}
+
 // WritebackAsync pushes the file's dirty pages to the device as orderless
-// writes without waiting, returning the submitted requests. It models
-// pdflush-style background writeback (the paper's buffered-write baseline);
-// backpressure comes from the block layer's queue limit.
+// background writes without waiting, returning the submitted requests. It
+// models pdflush-style background writeback (the paper's buffered-write
+// baseline); backpressure comes from the block layer's queue limit.
 func (f *FS) WritebackAsync(p *sim.Proc, i *Inode) []*block.Request {
-	plan := f.writeback(p, i, 0, false)
+	plan := f.writeback(p, i, block.FlagBackground, false)
 	return plan.reqs
 }
 

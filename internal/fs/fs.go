@@ -146,6 +146,10 @@ type Inode struct {
 	// block allocation), as opposed to timestamp-only changes.
 	allocDirty bool
 	nlink      int
+	// inflight holds submitted-but-incomplete writeback requests. Pages are
+	// marked clean at submission, so the sync calls must be able to wait on
+	// writeback they did not plan themselves (filemap_fdatawait).
+	inflight []*block.Request
 }
 
 // Ino returns the inode number.
@@ -200,7 +204,7 @@ type Stats struct {
 // FS is a mounted filesystem.
 type FS struct {
 	k     *sim.Kernel
-	layer *block.Layer
+	layer block.Submitter
 	j     *jbd.Journal
 	opts  Options
 
@@ -217,8 +221,9 @@ type FS struct {
 	stats Stats
 }
 
-// New formats and mounts a filesystem over the block layer.
-func New(k *sim.Kernel, layer *block.Layer, opts Options) *FS {
+// New formats and mounts a filesystem over a block-layer front-end (the
+// single-queue block.Layer or the multi-queue blkmq.MQ).
+func New(k *sim.Kernel, layer block.Submitter, opts Options) *FS {
 	if opts.Jiffy <= 0 {
 		opts.Jiffy = 10 * sim.Millisecond
 	}
@@ -259,7 +264,7 @@ func (f *FS) pdflush(p *sim.Proc) {
 		p.Sleep(f.opts.PdflushInterval)
 		for _, i := range f.inodes {
 			if i.DirtyPages() > 0 {
-				f.writeback(p, i, 0, false)
+				f.writeback(p, i, block.FlagBackground, false)
 				f.stats.PdflushRuns++
 			}
 		}
@@ -288,8 +293,8 @@ func (f *FS) allocBufFor(ino Ino) *jbd.Buffer {
 // Journal exposes the journal (instrumentation).
 func (f *FS) Journal() *jbd.Journal { return f.j }
 
-// Layer exposes the block layer.
-func (f *FS) Layer() *block.Layer { return f.layer }
+// Layer exposes the block-layer front-end.
+func (f *FS) Layer() block.Submitter { return f.layer }
 
 // Options returns the mount options.
 func (f *FS) Options() Options { return f.opts }

@@ -34,6 +34,9 @@ func (f *FS) Fdatasync(p *sim.Proc, i *Inode) {
 }
 
 func (f *FS) sync(p *sim.Proc, i *Inode, commitMeta bool) {
+	// Background writeback that the multi-queue layer moved off stream 0 is
+	// outside the flush/barrier ordering domain: wait on it explicitly.
+	f.waitCrossStream(p, i)
 	switch f.opts.Journal.Mode {
 	case jbd.ModeDual:
 		if commitMeta {
@@ -90,6 +93,7 @@ func (f *FS) sync(p *sim.Proc, i *Inode, commitMeta bool) {
 func (f *FS) Fbarrier(p *sim.Proc, i *Inode) {
 	f.cpu(p)
 	f.stats.Fbarriers++
+	f.waitCrossStream(p, i)
 	switch f.opts.Journal.Mode {
 	case jbd.ModeDual:
 		if i.MetaPending() {
@@ -121,6 +125,7 @@ func (f *FS) Fbarrier(p *sim.Proc, i *Inode) {
 func (f *FS) Fdatabarrier(p *sim.Proc, i *Inode) {
 	f.cpu(p)
 	f.stats.Fdatabarriers++
+	f.waitCrossStream(p, i)
 	switch f.opts.Journal.Mode {
 	case jbd.ModeDual:
 		f.fdatabarrierDual(p, i)
@@ -150,6 +155,7 @@ func (f *FS) fdatabarrierDual(p *sim.Proc, i *Inode) {
 // flush. Used by tests and orderly shutdown.
 func (f *FS) SyncFS(p *sim.Proc) {
 	for _, i := range f.inodes {
+		f.waitCrossStream(p, i)
 		plan := f.writeback(p, i, 0, false)
 		f.waitAll(p, plan)
 	}

@@ -146,6 +146,18 @@ func (j *Journal) dualCommitThread(p *sim.Proc) {
 			j.wake(p)
 		}
 		j.freeze(t)
+		// Ordered-mode data riding another stream (background writeback the
+		// multi-queue layer spread off stream 0) is outside this journal's
+		// ordering domain: the {D, JD} epoch cannot cover it, so fall back
+		// to Wait-on-Transfer for exactly those requests. Stream-0 data
+		// stays wait-free — the JD barrier orders it (Eq. 3), which is the
+		// single-queue behaviour unchanged.
+		for _, d := range t.dataDeps {
+			if d.Stream != 0 && !d.Completed() {
+				d.Wait(p)
+				j.wake(p)
+			}
+		}
 		t.pagesUsed = len(t.frozen) + 2
 		j.reserve(p, t.pagesUsed)
 		jd, jc := j.buildJD(t)

@@ -203,7 +203,7 @@ type Stats struct {
 // Journal is one mounted journal.
 type Journal struct {
 	k     *sim.Kernel
-	layer *block.Layer
+	layer block.Submitter
 	cfg   Config
 
 	running    *Txn
@@ -228,7 +228,7 @@ type Journal struct {
 }
 
 // New creates a journal and starts its engine threads.
-func New(k *sim.Kernel, layer *block.Layer, cfg Config) *Journal {
+func New(k *sim.Kernel, layer block.Submitter, cfg Config) *Journal {
 	if cfg.Pages < 8 {
 		panic("jbd: journal too small")
 	}
