@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/kvwal"
 	"repro/internal/metrics"
 	"repro/internal/oltp"
 	"repro/internal/sim"
@@ -315,6 +316,35 @@ func BenchmarkMQScaling(b *testing.B) {
 				}
 				b.ReportMetric(iops, "IOPS")
 				b.ReportMetric(float64(epochs), "epochs")
+			})
+		}
+	}
+}
+
+// BenchmarkKV measures the barrier-enabled KV store (internal/kvwal):
+// acknowledged mutations per second and commit-latency percentiles for
+// concurrent group-committing clients, per stack profile.
+func BenchmarkKV(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		prof func(device.Config) core.Profile
+	}{
+		{"EXT4-DR", core.EXT4DR}, {"BFS-DR", core.BFSDR},
+		{"EXT4-MQ", core.EXT4MQ}, {"BFS-MQ", core.BFSMQ},
+	} {
+		for _, clients := range []int{1, 8} {
+			mk, clients := mk, clients
+			b.Run(fmt.Sprintf("%s/clients=%d", mk.name, clients), func(b *testing.B) {
+				var res kvwal.BenchResult
+				for n := 0; n < b.N; n++ {
+					k := sim.NewKernel()
+					s := core.NewStack(k, mk.prof(device.NVMeSSD()))
+					res = kvwal.Bench(k, s, kvwal.DefaultBenchConfig(clients), 40*sim.Millisecond)
+					k.Close()
+				}
+				b.ReportMetric(res.OpsPerS, "ops/s")
+				b.ReportMetric(res.Latency.P99, "p99-ms")
+				b.ReportMetric(res.GroupMean, "ops/group")
 			})
 		}
 	}

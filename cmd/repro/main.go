@@ -6,9 +6,11 @@
 //	repro [-quick] [experiment ...]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mq crash all. With no arguments, runs `all`. The `mq` experiment is the
-// multi-queue scaling table (per-stream epochs vs the global total order)
-// added on top of the paper's evaluation.
+// mq kv crash all. With no arguments, runs `all`. The `mq` experiment is
+// the multi-queue scaling table (per-stream epochs vs the global total
+// order) added on top of the paper's evaluation; `kv` is the barrier-
+// enabled key-value store (internal/kvwal): group-commit throughput and
+// latency across stacks plus its crash-consistency sweep.
 package main
 
 import (
@@ -81,6 +83,9 @@ func run(name string, scale experiments.Scale) error {
 	}
 	if all || name == "mq" {
 		emit(experiments.MQScaling(scale).String())
+	}
+	if all || name == "kv" {
+		emit(experiments.KV(scale).String())
 	}
 	if all || name == "crash" {
 		emit(crashReport(scale))

@@ -186,6 +186,101 @@ func TestMQFsyncCoversSpreadWriteback(t *testing.T) {
 	}
 }
 
+// TestMQFdatabarrierCoversSpreadWriteback pins the same filemap_fdatawait
+// contract for the *barrier* path that TestMQFsyncCoversSpreadWriteback
+// pins for fsync: fdatabarrier promises that preceding writes reach
+// storage before following ones, but pages submitted through background
+// writeback may still be queued on a data stream — where stream 0's
+// epochs cannot order them — when fdatabarrier is called. fdatabarrierDual
+// must Wait-on-Transfer for exactly that in-flight cross-stream writeback
+// (waitCrossStream) before the barrier means anything, so the test asserts
+// the scattered requests have completed the moment Fdatabarrier returns,
+// then crash-checks end to end against a second file: the barrier ordered
+// file A's writeback before file B's marker, so a durable marker with lost
+// A-pages is an ordering violation.
+func TestMQFdatabarrierCoversSpreadWriteback(t *testing.T) {
+	const pages = 64
+	prof := core.BFSMQ(device.NVMeSSD())
+	k := sim.NewKernel()
+	s := core.NewStack(k, prof)
+	type acked struct{ idx, ver int64 }
+	var ordered []acked
+	markerDurable := false
+	k.Spawn("app", func(p *sim.Proc) {
+		f, err := s.FS.Create(p, s.FS.Root(), "barrier.dat")
+		if err != nil {
+			panic(err)
+		}
+		g, err := s.FS.Create(p, s.FS.Root(), "marker.dat")
+		if err != nil {
+			panic(err)
+		}
+		for i := int64(0); i < pages; i++ {
+			s.FS.Write(p, f, i)
+		}
+		s.FS.Write(p, g, 0)
+		s.FS.Fsync(p, f) // settle allocation: the rest is pure overwrite
+		s.FS.Fsync(p, g)
+		// Overwrite and push through background writeback: the requests
+		// scatter onto data streams and the pages are already clean when the
+		// barrier call arrives, so only waitCrossStream can see them.
+		for i := int64(0); i < pages; i++ {
+			s.FS.Write(p, f, i)
+		}
+		reqs := s.FS.WritebackAsync(p, f)
+		spread := 0
+		for _, r := range reqs {
+			if r.Stream != 0 {
+				spread++
+			}
+		}
+		if spread == 0 {
+			t.Error("background writeback was not scattered off stream 0; test is vacuous")
+		}
+		s.FS.Fdatabarrier(p, f)
+		// The direct contract: nothing the barrier cannot order may still be
+		// in flight when it returns.
+		for _, r := range reqs {
+			if r.Stream != 0 && !r.Completed() {
+				t.Errorf("request LPA %d still in flight on stream %d after Fdatabarrier returned",
+					r.LPA, r.Stream)
+			}
+		}
+		for i := int64(0); i < pages; i++ {
+			ver, _ := s.FS.Read(p, f, i)
+			ordered = append(ordered, acked{idx: i, ver: ver})
+		}
+		// End to end: a durable write to a *different* file is ordered after
+		// the barrier; its fdatasync waits on nothing of file A.
+		s.FS.Write(p, g, 0)
+		s.FS.Fdatasync(p, g)
+		markerDurable = true
+		s.Crash()
+	})
+	k.Run()
+	var view *fs.View
+	k.Spawn("recover", func(p *sim.Proc) { view, _ = s.RecoverView(p) })
+	k.Run()
+	defer k.Close()
+	if !markerDurable {
+		t.Fatal("trial never reached the marker sync")
+	}
+	root, ok := view.Root(s.FS)
+	if !ok {
+		t.Fatal("root unrecoverable")
+	}
+	meta, ok := view.Lookup(root, "barrier.dat")
+	if !ok {
+		t.Fatal("file lost despite fsync")
+	}
+	for _, a := range ordered {
+		if got, ok := view.PageVersion(meta, a.idx); !ok || got < a.ver {
+			t.Errorf("page %d: barrier-ordered v%d before durable marker, recovered v%d (present=%v)",
+				a.idx, a.ver, got, ok)
+		}
+	}
+}
+
 // TestDurabilityMQ and TestOrderingMQ run the standard sweeps on the MQ
 // stacks: the multi-queue layer must meet the same contracts as the
 // single-queue one.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/oltp"
@@ -9,12 +11,15 @@ import (
 	"repro/internal/workload"
 )
 
-// Fig14Row is one SQLite configuration.
+// Fig14Row is one SQLite configuration. P50/P99 are per-transaction
+// latency percentiles in msec from the shared internal/metrics histogram.
 type Fig14Row struct {
 	Device   string
 	Config   string
 	Mode     sqlmini.JournalMode
 	TxPerSec float64
+	P50      float64
+	P99      float64
 }
 
 // Fig14Result is the SQLite matrix.
@@ -35,6 +40,7 @@ func Fig14(scale Scale) Fig14Result {
 		res := sqlmini.Bench(k, s, sqlmini.DefaultConfig(mode, d), dur)
 		out.Rows = append(out.Rows, Fig14Row{
 			Device: devName, Config: cfgName, Mode: mode, TxPerSec: res.TxPerSec,
+			P50: res.Latency.Median, P99: res.Latency.P99,
 		})
 	}
 	// (a) UFS, durability guarantee.
@@ -56,19 +62,24 @@ func Fig14(scale Scale) Fig14Result {
 
 func (r Fig14Result) String() string {
 	t := newTable("Fig 14: SQLite inserts/s")
-	t.row("%-12s %-8s %-8s %12s", "device", "config", "journal", "Tx/s")
+	t.row("%-12s %-8s %-8s %12s %9s %9s", "device", "config", "journal", "Tx/s", "p50(ms)", "p99(ms)")
 	for _, row := range r.Rows {
-		t.row("%-12s %-8s %-8s %12.0f", row.Device, row.Config, row.Mode, row.TxPerSec)
+		t.row("%-12s %-8s %-8s %12.0f %9.3f %9.3f",
+			row.Device, row.Config, row.Mode, row.TxPerSec, row.P50, row.P99)
 	}
 	return t.String()
 }
 
 // Fig15Row is one (device, workload, configuration) bar of Fig. 15.
+// P50/P99 are per-operation latency percentiles in msec where the workload
+// reports them (OLTP-insert; varmail rows leave them zero).
 type Fig15Row struct {
 	Device   string
 	Workload string
 	Config   string
 	PerSec   float64
+	P50      float64
+	P99      float64
 }
 
 // Fig15Result is the server-workload matrix.
@@ -119,6 +130,7 @@ func Fig15(scale Scale) Fig15Result {
 				k.Close()
 				out.Rows = append(out.Rows, Fig15Row{
 					Device: dev().Name, Workload: "OLTP-insert", Config: pr.name, PerSec: res.TxPerSec,
+					P50: res.Latency.Median, P99: res.Latency.P99,
 				})
 			}
 		}
@@ -128,9 +140,15 @@ func Fig15(scale Scale) Fig15Result {
 
 func (r Fig15Result) String() string {
 	t := newTable("Fig 15: server workloads (varmail ops/s, OLTP-insert Tx/s)")
-	t.row("%-14s %-12s %-8s %12s", "device", "workload", "config", "per-sec")
+	t.row("%-14s %-12s %-8s %12s %9s %9s", "device", "workload", "config", "per-sec", "p50(ms)", "p99(ms)")
 	for _, row := range r.Rows {
-		t.row("%-14s %-12s %-8s %12.0f", row.Device, row.Workload, row.Config, row.PerSec)
+		lat50, lat99 := "-", "-"
+		if row.P50 > 0 {
+			lat50 = fmt.Sprintf("%.3f", row.P50)
+			lat99 = fmt.Sprintf("%.3f", row.P99)
+		}
+		t.row("%-14s %-12s %-8s %12.0f %9s %9s",
+			row.Device, row.Workload, row.Config, row.PerSec, lat50, lat99)
 	}
 	return t.String()
 }

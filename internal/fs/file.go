@@ -60,6 +60,17 @@ func (f *FS) WriteAt(p *sim.Proc, i *Inode, off int64) {
 	f.Write(p, i, off/PageSize)
 }
 
+// PageVer returns the in-cache content version of a page without issuing
+// IO or charging syscall cost. Instrumentation for applications that keep
+// host-side shadows of what they wrote (e.g. internal/kvwal); a cache miss
+// reports false rather than reading the device.
+func (f *FS) PageVer(i *Inode, idx int64) (int64, bool) {
+	if pg, ok := i.pages[idx]; ok {
+		return pg.ver, true
+	}
+	return 0, false
+}
+
 // Read returns the version of a page, fetching it from the device on a
 // cache miss.
 func (f *FS) Read(p *sim.Proc, i *Inode, idx int64) (int64, bool) {

@@ -385,8 +385,19 @@ func (j *Journal) closeRunning(p *sim.Proc, force bool) *Txn {
 // CommitAndWait closes the running transaction and blocks until it is
 // durable (or merely committed, under nobarrier mounts). This is the
 // fsync() journal path.
+//
+// A durability caller must commit even when the running transaction is
+// empty but the Dual-Mode conflict-page list is not: the caller's newest
+// metadata snapshot may live only on that list (parked behind a committing
+// transaction, §4.3), and skipping the commit would let fsync return with
+// the snapshot never journaled — it would wait on the *older* committing
+// transaction instead. The forced commit absorbs the parked buffers when
+// the commit thread drains the list before freezing. Ordering-only callers
+// (CommitOrdering) deliberately keep the lazy path: their parked pages ride
+// a later commit, which preserves the deep fbarrier commit pipeline
+// (Fig. 12) at no durability cost.
 func (j *Journal) CommitAndWait(p *sim.Proc) *Txn {
-	t := j.closeRunning(p, false)
+	t := j.closeRunning(p, len(j.conflictList) > 0)
 	if t == nil {
 		// Nothing dirty: wait on the newest in-flight transaction, if any,
 		// for EXT4's "fsync finds committed txn" semantics.

@@ -1,0 +1,182 @@
+package kvwal
+
+import (
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+)
+
+// The background path: memtable flushes and segment compaction. Both run
+// as their own sim.Procs and push their pages through WritebackAsync, so
+// the writes carry REQ_BACKGROUND — on the multi-queue profiles they
+// scatter onto data streams and stay out of the commit stream's way. Each
+// finishes with an explicit fdatasync on the file it wrote (segment data
+// must be durable before the manifest may reference it, and the manifest
+// must be durable before WAL records may be recycled).
+
+// flusher freezes the memtable when the leader signals and turns it into a
+// sorted segment, then advances the WAL checkpoint.
+func (st *Store) flusher(p *sim.Proc) {
+	for {
+		if !st.needFlush() {
+			st.flushCond.Wait(p)
+			continue
+		}
+		st.flushOnce(p)
+		st.spaceCond.Broadcast()
+		if len(st.segs) > st.cfg.CompactFanIn {
+			st.compactCond.Signal()
+		}
+	}
+}
+
+// flushOnce freezes the current memtable and writes it out as one segment.
+func (st *Store) flushOnce(p *sim.Proc) {
+	freezeSeq := st.committedSeq
+	st.imm = st.mem
+	st.mem = make(map[string]memEnt)
+
+	var ents []segEnt
+	for key, e := range st.imm {
+		ents = append(ents, segEnt{key: key, seq: e.seq, del: e.del})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].key < ents[j].key })
+
+	if len(ents) > 0 {
+		seg := st.writeSegment(p, ents)
+		st.segs = append(st.segs, seg)
+	}
+	// The segment (if any) is durable: publish it and release WAL space.
+	st.writeManifest(p, freezeSeq)
+	st.checkpointSeq = freezeSeq
+	if freezeSeq > st.durableSeq {
+		// Everything up to the freeze point now lives in durable segments.
+		st.durableSeq = freezeSeq
+	}
+	st.imm = nil
+	st.stats.Flushes++
+}
+
+// writeSegment creates a new segment file, writes one page per entry as
+// background writeback, makes it durable, and returns the registered
+// segment. The entries' page and version shadows are filled in.
+func (st *Store) writeSegment(p *sim.Proc, ents []segEnt) *segment {
+	seg := &segment{id: st.nextSegID, byKey: make(map[string]int, len(ents))}
+	st.nextSegID++
+	seg.name = segName(seg.id)
+	f, err := st.s.FS.Create(p, st.s.FS.Root(), seg.name)
+	if err != nil {
+		panic("kvwal: " + err.Error())
+	}
+	var inflight []*block.Request
+	for i := range ents {
+		ents[i].page = int64(i)
+		st.s.FS.Write(p, f, int64(i))
+		ver, _ := st.s.FS.PageVer(f, int64(i))
+		ents[i].ver = ver
+		seg.byKey[ents[i].key] = i
+		// Push pages out in background-sized clumps rather than one giant
+		// dirty set, to keep the writeback stream busy while we fill.
+		if i%16 == 15 {
+			inflight = append(inflight, st.s.FS.WritebackAsync(p, f)...)
+		}
+	}
+	inflight = append(inflight, st.s.FS.WritebackAsync(p, f)...)
+	// filemap_fdatawait: background writeback is marked clean at submission
+	// and carries no ordering promise, so the coming fdatasync cannot see or
+	// cover what is still queued. A background thread can afford the
+	// Wait-on-Transfer the foreground commit path avoids.
+	for _, r := range inflight {
+		if !r.Completed() {
+			r.Wait(p)
+		}
+	}
+	st.s.FS.Fdatasync(p, f) // allocation metadata + cache flush: durable
+	seg.entries = ents
+	st.segByID[seg.id] = seg
+	return seg
+}
+
+// writeManifest publishes the current live segment set and checkpoint:
+// one overwrite of the manifest page followed by fdatasync. The version
+// stamp of that page is the commit point recovery pivots on. Flusher and
+// compactor both publish, and every filesystem call yields, so the whole
+// write-stamp-sync sequence holds a lock: without it two writers can
+// interleave, one stamping the other's page version and losing its state
+// — and with it the durable-manifest invariant WAL slot recycling rests on.
+func (st *Store) writeManifest(p *sim.Proc, checkpoint uint64) {
+	st.manifestSem.Acquire(p, 1)
+	if st.checkpointSeq > checkpoint {
+		// The caller's checkpoint was captured before the lock wait; never
+		// republish an older one (WAL slots may already be recycled past it).
+		checkpoint = st.checkpointSeq
+	}
+	ids := make([]int, len(st.segs))
+	for i, s := range st.segs {
+		ids[i] = s.id
+	}
+	st.s.FS.Write(p, st.manifest, 0)
+	ver, _ := st.s.FS.PageVer(st.manifest, 0)
+	st.manifestHist[ver] = manifestState{checkpoint: checkpoint, segIDs: ids}
+	st.s.FS.Fdatasync(p, st.manifest)
+	st.manifestSem.Release(1)
+}
+
+// compactor merges all live segments into one when the flusher signals
+// that too many have accumulated.
+func (st *Store) compactor(p *sim.Proc) {
+	for {
+		if len(st.segs) <= st.cfg.CompactFanIn {
+			st.compactCond.Wait(p)
+			continue
+		}
+		st.compactOnce(p)
+	}
+}
+
+// compactOnce merges the current live segments (a prefix snapshot: the
+// flusher only appends) into one new segment, publishes it, and unlinks
+// the inputs. Tombstones are dropped — nothing older than the merged run
+// remains.
+func (st *Store) compactOnce(p *sim.Proc) {
+	inputs := append([]*segment(nil), st.segs...)
+	newest := make(map[string]segEnt)
+	for _, seg := range inputs { // oldest first: later entries overwrite
+		f := st.fileOf(seg)
+		for _, e := range seg.entries {
+			st.s.FS.Read(p, f, e.page)
+			if cur, ok := newest[e.key]; !ok || e.seq > cur.seq {
+				newest[e.key] = e
+			}
+		}
+	}
+	var ents []segEnt
+	for key, e := range newest {
+		if e.del {
+			continue
+		}
+		ents = append(ents, segEnt{key: key, seq: e.seq})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].key < ents[j].key })
+
+	var merged *segment
+	if len(ents) > 0 {
+		merged = st.writeSegment(p, ents)
+	}
+	// Splice: replace the input prefix with the merged run, keeping any
+	// segments the flusher added while we merged.
+	tail := st.segs[len(inputs):]
+	st.segs = st.segs[:0]
+	if merged != nil {
+		st.segs = append(st.segs, merged)
+	}
+	st.segs = append(st.segs, tail...)
+	st.writeManifest(p, st.checkpointSeq)
+	for _, seg := range inputs {
+		if err := st.s.FS.Unlink(p, st.s.FS.Root(), seg.name); err != nil {
+			panic("kvwal: " + err.Error())
+		}
+	}
+	st.stats.Compactions++
+}

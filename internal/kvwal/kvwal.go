@@ -1,0 +1,456 @@
+// Package kvwal is a write-ahead-logged key-value store — memtable plus
+// sorted segments, a miniature LSM tree — built directly on core.Stack. It
+// is the "millions of concurrent clients" application model of the stack:
+// many clients enqueue Put/Delete batches, a single group-commit leader
+// appends their WAL records and persists the whole group with one
+// durability call, amortizing the sync across every queued client exactly
+// like InnoDB/RocksDB group commit.
+//
+// The durability call is chosen per journaling engine, which is the
+// paper's application-level thesis in one switch statement:
+//
+//   - EXT4 (JBD2) engines: fdatasync() per group — Transfer-and-Flush, the
+//     leader stalls for the full flush round trip;
+//   - BarrierFS (Dual) engines: fdatabarrier() per group — the group is
+//     *ordered* at dispatch cost, clients are released immediately, and a
+//     periodic fdatasync checkpoint bounds the durability window.
+//
+// Ordering makes recovery prefix-consistent: because every group is
+// separated from the next by a barrier, the WAL records that survive a
+// crash are always a prefix of the committed history (at group
+// granularity), so replay never observes a later group without its
+// predecessors.
+//
+// Background work — memtable flushes into sorted segment files and
+// multi-segment compaction — runs as separate sim.Procs whose writes are
+// submitted as REQ_BACKGROUND writeback: on the multi-queue profiles they
+// scatter onto data streams and never queue in front of the commit
+// stream's barriers (the blkmq scenario, end to end).
+//
+// Page contents are modelled as version stamps (see internal/fs), so the
+// store keeps a host-side shadow of what each WAL slot and segment page
+// holds; recovery reads the *versions* that survived on the device and
+// maps them back through the shadow, the same technique internal/crashtest
+// uses.
+package kvwal
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/jbd"
+	"repro/internal/sim"
+)
+
+// OpKind is the type of a logged mutation.
+type OpKind int
+
+// Mutation kinds.
+const (
+	Put OpKind = iota
+	Delete
+)
+
+func (k OpKind) String() string {
+	if k == Delete {
+		return "delete"
+	}
+	return "put"
+}
+
+// Op is one mutation submitted by a client. Values are not modelled (page
+// contents are version stamps); a key's value is identified by the sequence
+// number of its newest Put.
+type Op struct {
+	Kind OpKind
+	Key  string
+}
+
+// Config parameterizes a store.
+type Config struct {
+	// WALPages is the capacity of the WAL ring in pages (one record per
+	// page). The leader blocks when the ring is full until a memtable flush
+	// checkpoints old records into segments.
+	WALPages int
+	// MemtableCap freezes the memtable for flushing once it holds this many
+	// distinct keys.
+	MemtableCap int
+	// CompactFanIn triggers compaction when more than this many segments are
+	// live: all live segments merge into one.
+	CompactFanIn int
+	// CheckpointEvery bounds the durability window on barrier engines: after
+	// this many barrier-committed groups the leader issues one fdatasync.
+	// Ignored on flush engines (every group commit is already durable).
+	CheckpointEvery int
+}
+
+// DefaultConfig returns a small, flush-happy configuration that exercises
+// every path (group commit, WAL wrap, flush, compaction) in short runs.
+func DefaultConfig() Config {
+	return Config{
+		WALPages:        256,
+		MemtableCap:     128,
+		CompactFanIn:    4,
+		CheckpointEvery: 32,
+	}
+}
+
+// Stats are cumulative store statistics.
+type Stats struct {
+	Puts, Deletes, Gets int64
+	Batches             int64 // client batches acknowledged
+	GroupCommits        int64 // durability/ordering calls issued by the leader
+	WALRecords          int64
+	Flushes             int64
+	Compactions         int64
+	CheckpointSyncs     int64 // periodic fdatasyncs on barrier engines
+	SegmentsLive        int
+}
+
+// memEnt is one memtable entry: the newest mutation of a key.
+type memEnt struct {
+	seq uint64
+	del bool
+}
+
+// walRec is the host-side shadow of one WAL record: which slot it occupies,
+// the page version stamp it was written with, and the group commit that
+// covered it.
+type walRec struct {
+	seq   uint64
+	group uint64
+	kind  OpKind
+	key   string
+	slot  int64
+	ver   int64
+}
+
+// segEnt is the host-side shadow of one segment page.
+type segEnt struct {
+	key  string
+	seq  uint64
+	del  bool
+	page int64
+	ver  int64
+}
+
+// segment is one sorted, immutable on-disk run.
+type segment struct {
+	id      int
+	name    string
+	entries []segEnt // sorted by key
+	byKey   map[string]int
+}
+
+// manifestState is the shadow of one manifest page version: the durable
+// segment set and the WAL checkpoint at the time it was written.
+type manifestState struct {
+	checkpoint uint64
+	segIDs     []int
+}
+
+// batch is one client submission waiting for the group-commit leader.
+type batch struct {
+	ops      []Op
+	enqueued sim.Time
+	lastSeq  uint64 // sequence number of the batch's final op, set at commit
+	done     bool
+	waiter   *sim.Proc
+}
+
+// Store is one open key-value store.
+type Store struct {
+	s   *core.Stack
+	k   *sim.Kernel
+	cfg Config
+
+	wal      *fs.Inode
+	manifest *fs.Inode
+
+	q           *sim.Queue[*batch]
+	spaceCond   *sim.Cond // leader waits here for WAL ring space
+	flushCond   *sim.Cond
+	compactCond *sim.Cond
+	manifestSem *sim.Semaphore // serializes manifest publication
+
+	mem  map[string]memEnt
+	imm  map[string]memEnt // frozen memtable being flushed (nil when idle)
+	segs []*segment        // live segments, oldest first
+
+	segByID      map[int]*segment        // every segment ever written (recovery shadow)
+	manifestHist map[int64]manifestState // manifest page ver -> state
+	walHist      []walRec                // indexed by seq-1
+
+	nextSeq       uint64 // next op sequence number (1-based)
+	committedSeq  uint64 // newest op covered by a group commit (ordering ack)
+	durableSeq    uint64 // newest op known durable (durability ack)
+	checkpointSeq uint64 // ops <= this are captured in durable segments
+	groupID       uint64
+	groupsSince   int // group commits since the last durability checkpoint
+	nextSegID     int
+
+	barrierCommit bool // Dual engine: barrier group commit + periodic sync
+	stats         Stats
+}
+
+// File names within the filesystem root.
+const (
+	walName      = "kv.wal"
+	manifestName = "kv.manifest"
+)
+
+func segName(id int) string { return fmt.Sprintf("kv.seg-%d", id) }
+
+// Open creates the store's files on the stack and starts the group-commit
+// leader, flusher and compactor daemons.
+func Open(p *sim.Proc, s *core.Stack, cfg Config) (*Store, error) {
+	if cfg.WALPages <= 0 || cfg.MemtableCap <= 0 || cfg.CompactFanIn <= 0 {
+		return nil, fmt.Errorf("kvwal: non-positive config %+v", cfg)
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 32
+	}
+	st := &Store{
+		s: s, k: p.Kernel(), cfg: cfg,
+		q:             sim.NewQueue[*batch](p.Kernel()),
+		spaceCond:     sim.NewCond(p.Kernel()),
+		flushCond:     sim.NewCond(p.Kernel()),
+		compactCond:   sim.NewCond(p.Kernel()),
+		manifestSem:   sim.NewSemaphore(p.Kernel(), 1),
+		mem:           make(map[string]memEnt),
+		segByID:       make(map[int]*segment),
+		manifestHist:  make(map[int64]manifestState),
+		nextSeq:       1,
+		barrierCommit: s.Profile.FS.Journal.Mode == jbd.ModeDual,
+	}
+	var err error
+	if st.wal, err = s.FS.Create(p, s.FS.Root(), walName); err != nil {
+		return nil, err
+	}
+	if st.manifest, err = s.FS.Create(p, s.FS.Root(), manifestName); err != nil {
+		return nil, err
+	}
+	// Preallocate the WAL ring and the manifest page so steady-state commits
+	// are pure overwrites: no allocating metadata, which is what lets the
+	// Dual engine service them on the cheap fdatabarrier path.
+	for i := 0; i < cfg.WALPages; i++ {
+		s.FS.Write(p, st.wal, int64(i))
+	}
+	s.FS.Write(p, st.manifest, 0)
+	s.FS.SyncFS(p)
+	st.k.Spawn("kv/commit", st.committer)
+	st.k.Spawn("kv/flush", st.flusher)
+	st.k.Spawn("kv/compact", st.compactor)
+	return st, nil
+}
+
+// Stats returns cumulative statistics (with SegmentsLive refreshed).
+func (st *Store) Stats() Stats {
+	out := st.stats
+	out.SegmentsLive = len(st.segs)
+	return out
+}
+
+// CommittedSeq returns the newest sequence number covered by a group commit
+// (ordering acknowledgement).
+func (st *Store) CommittedSeq() uint64 { return st.committedSeq }
+
+// DurableSeq returns the newest sequence number the store has acknowledged
+// as durable: on flush engines it tracks CommittedSeq; on barrier engines
+// it advances at fdatasync checkpoints and flushes.
+func (st *Store) DurableSeq() uint64 { return st.durableSeq }
+
+// BarrierCommit reports whether the store commits groups with fdatabarrier
+// (Dual engine) rather than fdatasync.
+func (st *Store) BarrierCommit() bool { return st.barrierCommit }
+
+// Apply submits a batch of mutations and blocks until the group-commit
+// leader has committed it: on flush engines the batch is then durable; on
+// barrier engines it is ordered (durable no later than the next checkpoint
+// — see ForceCheckpoint). It returns the sequence number of the batch's
+// last operation.
+func (st *Store) Apply(p *sim.Proc, ops []Op) uint64 {
+	if len(ops) == 0 {
+		return st.committedSeq
+	}
+	b := &batch{ops: ops, enqueued: p.Now()}
+	st.q.Put(b)
+	for !b.done {
+		b.waiter = p
+		p.Suspend()
+	}
+	b.waiter = nil
+	return b.lastSeq
+}
+
+// PutKey submits a single Put.
+func (st *Store) PutKey(p *sim.Proc, key string) uint64 {
+	return st.Apply(p, []Op{{Kind: Put, Key: key}})
+}
+
+// DeleteKey submits a single Delete.
+func (st *Store) DeleteKey(p *sim.Proc, key string) uint64 {
+	return st.Apply(p, []Op{{Kind: Delete, Key: key}})
+}
+
+// Get returns the sequence number of the newest committed Put for key, or
+// false if the key is absent or deleted. Lookups walk memtable, frozen
+// memtable, then segments newest-first; a segment hit charges the read IO
+// of its page.
+func (st *Store) Get(p *sim.Proc, key string) (uint64, bool) {
+	st.stats.Gets++
+	if e, ok := st.mem[key]; ok {
+		return e.seq, !e.del
+	}
+	if st.imm != nil {
+		if e, ok := st.imm[key]; ok {
+			return e.seq, !e.del
+		}
+	}
+	for i := len(st.segs) - 1; i >= 0; i-- {
+		seg := st.segs[i]
+		if n, ok := seg.byKey[key]; ok {
+			e := seg.entries[n]
+			st.s.FS.Read(p, st.fileOf(seg), e.page)
+			return e.seq, !e.del
+		}
+	}
+	return 0, false
+}
+
+// fileOf resolves a segment's inode by name (segments can be recreated by
+// lookup because unlinked ones are never read again).
+func (st *Store) fileOf(seg *segment) *fs.Inode {
+	f, ok := st.s.FS.Lookup(st.s.FS.Root(), seg.name)
+	if !ok {
+		panic("kvwal: live segment file missing: " + seg.name)
+	}
+	return f
+}
+
+// ForceCheckpoint makes everything committed so far durable: one fdatasync
+// on the WAL. Clients that need read-your-durability semantics on barrier
+// engines call this explicitly; on flush engines it is a cheap no-op-ish
+// extra sync.
+func (st *Store) ForceCheckpoint(p *sim.Proc) {
+	target := st.committedSeq
+	st.s.FS.Fdatasync(p, st.wal)
+	st.stats.CheckpointSyncs++
+	if target > st.durableSeq {
+		st.durableSeq = target
+	}
+	st.groupsSince = 0
+}
+
+// maxGroupOps bounds one group commit so it can never occupy the whole WAL
+// ring (the flusher needs the rest to make space).
+func (st *Store) maxGroupOps() int {
+	n := st.cfg.WALPages / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// committer is the group-commit leader: it drains every waiting batch,
+// appends their WAL records, issues one durability/ordering call for the
+// whole group, applies the mutations to the memtable and releases the
+// clients.
+func (st *Store) committer(p *sim.Proc) {
+	for {
+		b, ok := st.q.Get(p)
+		if !ok {
+			return
+		}
+		group := []*batch{b}
+		groupOps := len(b.ops)
+		for groupOps < st.maxGroupOps() {
+			b2, ok := st.q.TryGet()
+			if !ok {
+				break
+			}
+			group = append(group, b2)
+			groupOps += len(b2.ops)
+		}
+		st.groupID++
+		for _, b := range group {
+			for i := range b.ops {
+				st.appendWAL(p, b.ops[i])
+			}
+		}
+		// One sync for the whole group: the amortization that makes group
+		// commit worth it.
+		if st.barrierCommit {
+			st.s.FS.Fdatabarrier(p, st.wal)
+			st.groupsSince++
+		} else {
+			st.s.FS.Fdatasync(p, st.wal)
+		}
+		st.stats.GroupCommits++
+		st.committedSeq = st.nextSeq - 1
+		if !st.barrierCommit {
+			st.durableSeq = st.committedSeq
+		}
+		// Apply to the memtable (the ops' sequence numbers were assigned in
+		// appendWAL in this same order) and ack the clients.
+		seqTail := st.committedSeq - uint64(groupOps) + 1
+		for _, b := range group {
+			for _, op := range b.ops {
+				st.mem[op.Key] = memEnt{seq: seqTail, del: op.Kind == Delete}
+				seqTail++
+				if op.Kind == Delete {
+					st.stats.Deletes++
+				} else {
+					st.stats.Puts++
+				}
+			}
+			b.lastSeq = seqTail - 1
+			b.done = true
+			st.stats.Batches++
+			if b.waiter != nil {
+				st.k.Resume(b.waiter)
+			}
+		}
+		// Periodic durability checkpoint on barrier engines.
+		if st.barrierCommit && st.groupsSince >= st.cfg.CheckpointEvery {
+			st.ForceCheckpoint(p)
+		}
+		if st.needFlush() {
+			st.flushCond.Signal()
+		}
+	}
+}
+
+// appendWAL writes one record into the next ring slot, blocking while the
+// slot still holds a live (un-checkpointed) record.
+func (st *Store) appendWAL(p *sim.Proc, op Op) {
+	seq := st.nextSeq
+	for seq > st.checkpointSeq+uint64(st.cfg.WALPages) {
+		// Ring full: the record seq-WALPages in this slot is not yet
+		// captured in a segment. Kick the flusher and wait.
+		st.flushCond.Signal()
+		st.spaceCond.Wait(p)
+	}
+	st.nextSeq++
+	slot := int64((seq - 1) % uint64(st.cfg.WALPages))
+	st.s.FS.Write(p, st.wal, slot)
+	ver, _ := st.s.FS.PageVer(st.wal, slot)
+	st.walHist = append(st.walHist, walRec{
+		seq: seq, group: st.groupID, kind: op.Kind, key: op.Key, slot: slot, ver: ver,
+	})
+	st.stats.WALRecords++
+}
+
+// needFlush reports whether the memtable should be frozen: it is full, or
+// the WAL ring is more than half occupied by live records.
+func (st *Store) needFlush() bool {
+	if st.imm != nil {
+		return false // a flush is already running
+	}
+	if len(st.mem) >= st.cfg.MemtableCap {
+		return true
+	}
+	return len(st.mem) > 0 &&
+		st.committedSeq > st.checkpointSeq+uint64(st.cfg.WALPages)/2
+}

@@ -1,0 +1,255 @@
+package kvwal
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func newStack(t *testing.T, prof core.Profile) (*sim.Kernel, *core.Stack) {
+	t.Helper()
+	k := sim.NewKernel()
+	return k, core.NewStack(k, prof)
+}
+
+func TestPutGetDelete(t *testing.T) {
+	k, s := newStack(t, core.BFSDR(device.PlainSSD()))
+	defer k.Close()
+	k.Spawn("app", func(p *sim.Proc) {
+		st, err := Open(p, s, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqA := st.PutKey(p, "alpha")
+		seqB := st.PutKey(p, "beta")
+		if got, ok := st.Get(p, "alpha"); !ok || got != seqA {
+			t.Errorf("alpha: got (%d,%v), want seq %d", got, ok, seqA)
+		}
+		if seqA == 0 || seqB != seqA+1 {
+			t.Errorf("Apply seqs not per-op: alpha=%d beta=%d", seqA, seqB)
+		}
+		st.DeleteKey(p, "alpha")
+		if _, ok := st.Get(p, "alpha"); ok {
+			t.Error("alpha still visible after delete")
+		}
+		if _, ok := st.Get(p, "beta"); !ok {
+			t.Error("beta lost")
+		}
+		if _, ok := st.Get(p, "never"); ok {
+			t.Error("phantom key")
+		}
+		if !st.BarrierCommit() {
+			t.Error("Dual engine should commit with barriers")
+		}
+		k.Stop()
+	})
+	k.Run()
+}
+
+// TestGroupCommitAmortizes checks that concurrent clients' batches merge
+// into shared group commits: with many clients there must be fewer sync
+// calls than batches.
+func TestGroupCommitAmortizes(t *testing.T) {
+	for _, prof := range []core.Profile{
+		core.EXT4DR(device.NVMeSSD()), core.BFSDR(device.NVMeSSD()),
+	} {
+		k, s := newStack(t, prof)
+		var st *Store
+		ready := false
+		k.Spawn("setup", func(p *sim.Proc) {
+			var err error
+			st, err = Open(p, s, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ready = true
+		})
+		const clients, batches = 8, 20
+		for c := 0; c < clients; c++ {
+			c := c
+			k.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+				for !ready {
+					p.Sleep(sim.Millisecond)
+				}
+				for n := 0; n < batches; n++ {
+					st.Apply(p, []Op{
+						{Kind: Put, Key: fmt.Sprintf("c%d-k%d", c, n)},
+						{Kind: Put, Key: fmt.Sprintf("c%d-k%d", c, n+1000)},
+					})
+				}
+			})
+		}
+		k.Run()
+		stats := st.Stats()
+		if stats.Batches != clients*batches {
+			t.Errorf("%s: batches = %d, want %d", prof.Name, stats.Batches, clients*batches)
+		}
+		if stats.GroupCommits >= stats.Batches {
+			t.Errorf("%s: group commits (%d) not amortized below batches (%d)",
+				prof.Name, stats.GroupCommits, stats.Batches)
+		}
+		if stats.WALRecords != stats.Batches*2 {
+			t.Errorf("%s: wal records = %d, want %d", prof.Name, stats.WALRecords, stats.Batches*2)
+		}
+		k.Close()
+	}
+}
+
+// TestFlushCompactionAndWALWrap drives enough distinct keys through a tiny
+// configuration to force memtable flushes, WAL ring wrap-around and at
+// least one compaction, then verifies reads against a model.
+func TestFlushCompactionAndWALWrap(t *testing.T) {
+	k, s := newStack(t, core.BFSDR(device.NVMeSSD()))
+	defer k.Close()
+	cfg := Config{WALPages: 64, MemtableCap: 16, CompactFanIn: 2, CheckpointEvery: 8}
+	k.Spawn("app", func(p *sim.Proc) {
+		st, err := Open(p, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := make(map[string]bool)
+		for i := 0; i < 300; i++ {
+			key := fmt.Sprintf("k%03d", i%100)
+			if i%7 == 3 {
+				st.DeleteKey(p, key)
+				model[key] = false
+			} else {
+				st.PutKey(p, key)
+				model[key] = true
+			}
+		}
+		// Let in-flight background flush/compaction settle before auditing
+		// the steady state.
+		p.Sleep(20 * sim.Millisecond)
+		stats := st.Stats()
+		if stats.Flushes == 0 {
+			t.Error("no memtable flushes despite tiny cap")
+		}
+		if stats.Compactions == 0 {
+			t.Error("no compactions despite fan-in 2")
+		}
+		if stats.WALRecords != 300 {
+			t.Errorf("wal records = %d", stats.WALRecords)
+		}
+		for key, present := range model {
+			_, ok := st.Get(p, key)
+			if ok != present {
+				t.Errorf("key %s: present=%v, model says %v", key, ok, present)
+			}
+		}
+		if stats.SegmentsLive > cfg.CompactFanIn+1 {
+			// Compaction may lag by one in-progress flush but must bound the
+			// live set.
+			t.Errorf("segments live = %d, compaction not keeping up", stats.SegmentsLive)
+		}
+		k.Stop()
+	})
+	k.Run()
+}
+
+// TestRecoverCleanImage crashes after an explicit durability checkpoint:
+// everything acknowledged must be recovered with no violations.
+func TestRecoverCleanImage(t *testing.T) {
+	for _, prof := range []core.Profile{
+		core.EXT4DR(device.PlainSSD()), core.BFSDR(device.PlainSSD()),
+		core.EXT4MQ(device.NVMeSSD()), core.BFSMQ(device.NVMeSSD()),
+	} {
+		k, s := newStack(t, prof)
+		var st *Store
+		k.Spawn("app", func(p *sim.Proc) {
+			var err error
+			st, err = Open(p, s, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				st.PutKey(p, fmt.Sprintf("k%03d", i))
+			}
+			st.DeleteKey(p, "k005")
+			st.ForceCheckpoint(p)
+			s.Crash()
+		})
+		k.Run()
+		var rec Recovered
+		k.Spawn("recover", func(p *sim.Proc) {
+			view, _ := s.RecoverView(p)
+			rec = st.Recover(view)
+		})
+		k.Run()
+		durErrs, ordErrs := st.Audit(rec)
+		if len(durErrs) > 0 || len(ordErrs) > 0 {
+			t.Errorf("%s: violations after clean checkpoint: dur=%v ord=%v",
+				prof.Name, durErrs, ordErrs)
+		}
+		if e, ok := rec.Keys["k007"]; !ok || e.Del {
+			t.Errorf("%s: k007 missing from recovered image", prof.Name)
+		}
+		if e, ok := rec.Keys["k005"]; ok && !e.Del {
+			t.Errorf("%s: deleted k005 resurfaced", prof.Name)
+		}
+		k.Close()
+	}
+}
+
+// TestRecoverAfterCompaction checkpoints, compacts, crashes, and verifies
+// the recovered image reads through the merged segment set.
+func TestRecoverAfterCompaction(t *testing.T) {
+	k, s := newStack(t, core.BFSDR(device.NVMeSSD()))
+	cfg := Config{WALPages: 64, MemtableCap: 8, CompactFanIn: 2, CheckpointEvery: 4}
+	var st *Store
+	k.Spawn("app", func(p *sim.Proc) {
+		var err error
+		st, err = Open(p, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 120; i++ {
+			st.PutKey(p, fmt.Sprintf("k%03d", i%40))
+		}
+		st.ForceCheckpoint(p)
+		// Let background flush/compaction quiesce before the crash so the
+		// manifest reflects a compacted state.
+		p.Sleep(20 * sim.Millisecond)
+		if st.Stats().Compactions == 0 {
+			t.Error("setup failed to trigger compaction")
+		}
+		s.Crash()
+	})
+	k.Run()
+	var rec Recovered
+	k.Spawn("recover", func(p *sim.Proc) {
+		view, _ := s.RecoverView(p)
+		rec = st.Recover(view)
+	})
+	k.Run()
+	defer k.Close()
+	durErrs, ordErrs := st.Audit(rec)
+	if len(durErrs) > 0 || len(ordErrs) > 0 {
+		t.Errorf("violations: dur=%v ord=%v", durErrs, ordErrs)
+	}
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		if e, ok := rec.Keys[key]; !ok || e.Del {
+			t.Errorf("key %s lost across compaction + crash", key)
+		}
+	}
+}
+
+// TestBenchSmoke runs the bench harness briefly on one profile.
+func TestBenchSmoke(t *testing.T) {
+	k, s := newStack(t, core.BFSDR(device.NVMeSSD()))
+	defer k.Close()
+	res := Bench(k, s, DefaultBenchConfig(4), 20*sim.Millisecond)
+	if res.Ops == 0 {
+		t.Fatal("no ops acknowledged")
+	}
+	if res.Latency.Count == 0 {
+		t.Error("no latency samples")
+	}
+	if res.GroupMean < 1 {
+		t.Errorf("group mean = %.2f", res.GroupMean)
+	}
+}

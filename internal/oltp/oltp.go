@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fs"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -107,10 +108,15 @@ type BenchResult struct {
 	Commits  int64
 	Window   sim.Duration
 	TxPerSec float64
+	// Latency summarizes per-transaction commit latency on the shared
+	// internal/metrics histogram, so oltp rows compare directly with
+	// sqlmini and kvwal output.
+	Latency metrics.Summary
 }
 
 func (r BenchResult) String() string {
-	return fmt.Sprintf("oltp-insert %2d clients %9.0f Tx/s", r.Clients, r.TxPerSec)
+	return fmt.Sprintf("oltp-insert %2d clients %9.0f Tx/s p50=%.3fms p99=%.3fms",
+		r.Clients, r.TxPerSec, r.Latency.Median, r.Latency.P99)
 }
 
 // Bench drives concurrent insert clients for the given duration.
@@ -119,6 +125,7 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg Config, duration sim.Duration) Benc
 	ready := false
 	commits := int64(0)
 	measuring := false
+	rec := metrics.NewLatencyRecorder("oltp/" + s.Profile.Name)
 	k.Spawn("oltp/setup", func(p *sim.Proc) {
 		var err error
 		eng, err = Open(p, s, cfg)
@@ -135,9 +142,11 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg Config, duration sim.Duration) Benc
 				p.Sleep(sim.Millisecond)
 			}
 			for {
+				t0 := p.Now()
 				eng.Insert(p, rng)
 				if measuring {
 					commits++
+					rec.Record(sim.Duration(p.Now() - t0))
 				}
 			}
 		})
@@ -153,5 +162,6 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg Config, duration sim.Duration) Benc
 		Commits:  commits,
 		Window:   sim.Duration(end - start),
 		TxPerSec: float64(commits) / sim.Duration(end-start).Seconds(),
+		Latency:  rec.Summarize(),
 	}
 }

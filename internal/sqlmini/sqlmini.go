@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fs"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -192,16 +193,20 @@ func (db *DB) checkpointWAL(p *sim.Proc) {
 	db.walHead = 0
 }
 
-// Bench runs count insert transactions and returns transactions/second.
+// BenchResult is the outcome of one insert-throughput run.
 type BenchResult struct {
 	Mode     JournalMode
 	Inserts  int64
 	Window   sim.Duration
 	TxPerSec float64
+	// Latency summarizes per-transaction latency on the shared
+	// internal/metrics histogram, comparable with oltp and kvwal output.
+	Latency metrics.Summary
 }
 
 func (r BenchResult) String() string {
-	return fmt.Sprintf("sqlite/%-7s %9.0f Tx/s (%d inserts)", r.Mode, r.TxPerSec, r.Inserts)
+	return fmt.Sprintf("sqlite/%-7s %9.0f Tx/s (%d inserts) p50=%.3fms p99=%.3fms",
+		r.Mode, r.TxPerSec, r.Inserts, r.Latency.Median, r.Latency.P99)
 }
 
 // Bench drives inserts from a single connection for the given duration.
@@ -209,6 +214,7 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg Config, duration sim.Duration) Benc
 	var db *DB
 	inserts := int64(0)
 	measuring := false
+	rec := metrics.NewLatencyRecorder("sqlite/" + s.Profile.Name)
 	k.Spawn("sqlite", func(p *sim.Proc) {
 		var err error
 		db, err = Open(p, s, "bench", cfg)
@@ -216,9 +222,11 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg Config, duration sim.Duration) Benc
 			panic(err)
 		}
 		for {
+			t0 := p.Now()
 			db.Insert(p)
 			if measuring {
 				inserts++
+				rec.Record(sim.Duration(p.Now() - t0))
 			}
 		}
 	})
@@ -234,5 +242,6 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg Config, duration sim.Duration) Benc
 		Inserts:  inserts,
 		Window:   sim.Duration(end - start),
 		TxPerSec: float64(inserts) / sim.Duration(end-start).Seconds(),
+		Latency:  rec.Summarize(),
 	}
 }
