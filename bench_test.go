@@ -351,7 +351,8 @@ func BenchmarkKV(b *testing.B) {
 }
 
 // BenchmarkSimKernel measures raw simulator event throughput (ablation: the
-// substrate's own cost).
+// substrate's own cost). allocs/op is the headline: the by-value event
+// queue schedules with zero allocations per event in steady state.
 func BenchmarkSimKernel(b *testing.B) {
 	k := sim.NewKernel()
 	defer k.Close()
@@ -361,6 +362,73 @@ func BenchmarkSimKernel(b *testing.B) {
 		}
 		k.Stop()
 	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimKernelMixedHorizons drives the hierarchical timer wheel
+// across all of its levels plus the overflow heap: sleeps from 1µs to
+// beyond the ~1s wheel horizon, from eight concurrent procs.
+func BenchmarkSimKernelMixedHorizons(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	horizons := []sim.Duration{
+		sim.Microsecond, 50 * sim.Microsecond, sim.Millisecond,
+		20 * sim.Millisecond, 300 * sim.Millisecond, 2 * sim.Second,
+	}
+	per := b.N/len(horizons) + 1
+	for i, d := range horizons {
+		i, d := i, d
+		k.Spawn(fmt.Sprintf("sleeper%d", i), func(p *sim.Proc) {
+			for n := 0; n < per; n++ {
+				p.Sleep(d)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimHandoff measures the single-handoff context switch: two procs
+// ping-ponging through Suspend/Resume, two dispatches per op.
+func BenchmarkSimHandoff(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var ping, pong *sim.Proc
+	// pong spawns first so it is parked in Suspend before ping's first Resume.
+	pong = k.Spawn("pong", func(p *sim.Proc) {
+		for {
+			p.Suspend()
+			k.Resume(ping)
+		}
+	})
+	ping = k.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			k.Resume(pong)
+			p.Suspend()
+		}
+		k.Stop()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimSpawnChurn measures short-lived proc churn — the group-commit
+// leader pattern — which the pooled worker goroutines make cheap.
+func BenchmarkSimSpawnChurn(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	k.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			child := k.Spawn("leader", func(c *sim.Proc) { c.Advance(sim.Microsecond) })
+			p.Join(child)
+		}
+		k.Stop()
+	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crashtest"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// crashReport runs the filesystem-level crash-consistency sweep: durability
+// audits on the -DR stacks, ordering audits on the -OD stacks, and the
+// legacy-device control that is expected to violate ordering.
+func crashReport(scale experiments.Scale) (string, []map[string]any) {
+	n := 6
+	if scale == experiments.Full {
+		n = 20
+	}
+	var times []sim.Time
+	for i := 1; i <= n; i++ {
+		times = append(times, sim.Time(sim.Duration(i*i)*500*sim.Microsecond))
+	}
+	out := "== Crash consistency sweep ==\n"
+	var rows []map[string]any
+	for _, c := range []struct {
+		label string
+		prof  core.Profile
+		kind  string
+	}{
+		{"BFS-DR durability (plain-SSD)", core.BFSDR(device.PlainSSD()), "durability"},
+		{"BFS-OD ordering (plain-SSD)", core.BFSOD(device.PlainSSD()), "ordering"},
+		{"BFS-OD ordering (UFS)", core.BFSOD(device.UFS()), "ordering"},
+		{"EXT4-DR durability (plain-SSD)", core.EXT4DR(device.PlainSSD()), "durability"},
+		{"EXT4-OD ordering (legacy dev; EXPECTED to violate)", core.EXT4OD(device.LegacySSD()), "ordering"},
+	} {
+		fails := 0
+		for _, rep := range crashtest.Sweep(c.prof, c.kind, times) {
+			if !rep.Ok() {
+				fails++
+			}
+		}
+		out += fmt.Sprintf("%-52s %d/%d crash points violated\n", c.label, fails, len(times))
+		rows = append(rows, map[string]any{
+			"case": c.label, "kind": c.kind, "trials": len(times), "violations": fails,
+		})
+	}
+	return out, rows
+}

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	repro [-quick] [experiment ...]
+//	repro [-quick] [-parallel=false] [-json out.json]
+//	      [-cpuprofile cpu.prof] [-memprofile mem.prof] [experiment ...]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
 // mq kv crash all. With no arguments, runs `all`. The `mq` experiment is
@@ -11,119 +12,166 @@
 // order) added on top of the paper's evaluation; `kv` is the barrier-
 // enabled key-value store (internal/kvwal): group-commit throughput and
 // latency across stacks plus its crash-consistency sweep.
+//
+// Independent sweep cells run one simulation kernel per CPU (disable with
+// -parallel=false, e.g. when profiling a single kernel). -json emits the
+// machine-readable results — IOPS, latency percentiles, crash-audit counts
+// and wall-clock seconds per experiment — that the perf-trajectory
+// BENCH_*.json files record.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/crashtest"
-	"repro/internal/device"
 	"repro/internal/experiments"
-	"repro/internal/sim"
+	"repro/internal/par"
 )
+
+// runner regenerates one experiment, returning the text rendering and the
+// machine-readable rows for -json.
+type runner struct {
+	name string
+	run  func(scale experiments.Scale) (string, []map[string]any)
+}
+
+var runners = []runner{
+	{"fig1", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig1(s)
+		return r.String(), fig1JSON(r)
+	}},
+	{"fig8", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig8(s)
+		return r.String(), fig8JSON(r)
+	}},
+	{"fig9", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig9(s)
+		return r.String(), fig9JSON(r)
+	}},
+	{"fig10", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig10(s)
+		return experiments.RenderFig10(r), fig10JSON(r)
+	}},
+	{"table1", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Table1(s)
+		return r.String(), table1JSON(r)
+	}},
+	{"fig11", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig11(s)
+		return r.String(), fig11JSON(r)
+	}},
+	{"fig12", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig12(s)
+		return r.String(), fig12JSON(r)
+	}},
+	{"fig13", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig13(s)
+		return r.String(), fig13JSON(r)
+	}},
+	{"fig14", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig14(s)
+		return r.String(), fig14JSON(r)
+	}},
+	{"fig15", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Fig15(s)
+		return r.String(), fig15JSON(r)
+	}},
+	{"mq", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.MQScaling(s)
+		return r.String(), mqJSON(r)
+	}},
+	{"kv", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.KV(s)
+		return r.String(), kvJSON(r)
+	}},
+	{"crash", func(s experiments.Scale) (string, []map[string]any) {
+		return crashReport(s)
+	}},
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run shortened experiments")
+	parallel := flag.Bool("parallel", true, "run independent sweep cells on one kernel per CPU")
+	jsonPath := flag.String("json", "", "write machine-readable results to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
-	scale := experiments.Full
-	if *quick {
-		scale = experiments.Quick
+	if err := run(*quick, *parallel, *jsonPath, *cpuProfile, *memProfile, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
 	}
-	args := flag.Args()
+}
+
+func run(quick, parallel bool, jsonPath, cpuProfile, memProfile string, args []string) error {
+	scale := experiments.Full
+	scaleName := "full"
+	if quick {
+		scale = experiments.Quick
+		scaleName = "quick"
+	}
+	par.SetEnabled(parallel)
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
+	report := jsonReport{
+		Scale:      scaleName,
+		Parallel:   parallel,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	start := time.Now()
 	for _, name := range args {
-		if err := run(name, scale); err != nil {
-			fmt.Fprintln(os.Stderr, "repro:", err)
-			os.Exit(1)
+		all := name == "all"
+		ran := false
+		for _, r := range runners {
+			if !all && r.name != name {
+				continue
+			}
+			t0 := time.Now()
+			text, rows := r.run(scale)
+			fmt.Println(text)
+			report.Experiments = append(report.Experiments, jsonExperiment{
+				Name:        r.name,
+				WallSeconds: time.Since(t0).Seconds(),
+				Rows:        rows,
+			})
+			ran = true
+		}
+		if !ran {
+			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
-}
-
-func run(name string, scale experiments.Scale) error {
-	all := name == "all"
-	ran := false
-	emit := func(s string) {
-		fmt.Println(s)
-		ran = true
+	report.WallSeconds = time.Since(start).Seconds()
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
-	if all || name == "fig1" {
-		emit(experiments.Fig1(scale).String())
-	}
-	if all || name == "fig8" {
-		emit(experiments.Fig8(scale).String())
-	}
-	if all || name == "fig9" {
-		emit(experiments.Fig9(scale).String())
-	}
-	if all || name == "fig10" {
-		emit(experiments.RenderFig10(experiments.Fig10(scale)))
-	}
-	if all || name == "table1" {
-		emit(experiments.Table1(scale).String())
-	}
-	if all || name == "fig11" {
-		emit(experiments.Fig11(scale).String())
-	}
-	if all || name == "fig12" {
-		emit(experiments.Fig12(scale).String())
-	}
-	if all || name == "fig13" {
-		emit(experiments.Fig13(scale).String())
-	}
-	if all || name == "fig14" {
-		emit(experiments.Fig14(scale).String())
-	}
-	if all || name == "fig15" {
-		emit(experiments.Fig15(scale).String())
-	}
-	if all || name == "mq" {
-		emit(experiments.MQScaling(scale).String())
-	}
-	if all || name == "kv" {
-		emit(experiments.KV(scale).String())
-	}
-	if all || name == "crash" {
-		emit(crashReport(scale))
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", name)
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "repro: wrote %s\n", jsonPath)
 	}
 	return nil
-}
-
-func crashReport(scale experiments.Scale) string {
-	n := 6
-	if scale == experiments.Full {
-		n = 20
-	}
-	var times []sim.Time
-	for i := 1; i <= n; i++ {
-		times = append(times, sim.Time(sim.Duration(i*i)*500*sim.Microsecond))
-	}
-	out := "== Crash consistency sweep ==\n"
-	for _, c := range []struct {
-		label string
-		prof  core.Profile
-		kind  string
-	}{
-		{"BFS-DR durability (plain-SSD)", core.BFSDR(device.PlainSSD()), "durability"},
-		{"BFS-OD ordering (plain-SSD)", core.BFSOD(device.PlainSSD()), "ordering"},
-		{"BFS-OD ordering (UFS)", core.BFSOD(device.UFS()), "ordering"},
-		{"EXT4-DR durability (plain-SSD)", core.EXT4DR(device.PlainSSD()), "durability"},
-		{"EXT4-OD ordering (legacy dev; EXPECTED to violate)", core.EXT4OD(device.LegacySSD()), "ordering"},
-	} {
-		fails := 0
-		for _, rep := range crashtest.Sweep(c.prof, c.kind, times) {
-			if !rep.Ok() {
-				fails++
-			}
-		}
-		out += fmt.Sprintf("%-52s %d/%d crash points violated\n", c.label, fails, len(times))
-	}
-	return out
 }

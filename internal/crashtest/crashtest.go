@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fs"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -191,18 +192,19 @@ func OrderingTrial(prof core.Profile, crashAt sim.Time) Report {
 	return rep
 }
 
-// Sweep runs trials at several crash times and aggregates failures.
+// Sweep runs trials at several crash times and aggregates failures. Each
+// trial owns a private kernel, so the sweep fans out across CPUs.
 func Sweep(prof core.Profile, kind string, times []sim.Time) []Report {
-	var out []Report
-	for _, at := range times {
+	out := make([]Report, len(times))
+	par.For(len(times), func(i int) {
 		switch kind {
 		case "durability":
-			out = append(out, DurabilityTrial(prof, at))
+			out[i] = DurabilityTrial(prof, times[i])
 		case "ordering":
-			out = append(out, OrderingTrial(prof, at))
+			out[i] = OrderingTrial(prof, times[i])
 		default:
 			panic("crashtest: unknown trial kind " + kind)
 		}
-	}
+	})
 	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kvwal"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -75,11 +76,11 @@ func KVTrial(prof core.Profile, clients int, crashAt sim.Time) Report {
 	return rep
 }
 
-// KVSweep runs KVTrial at several crash times.
+// KVSweep runs KVTrial at several crash times, one kernel per worker.
 func KVSweep(prof core.Profile, clients int, times []sim.Time) []Report {
-	var out []Report
-	for _, at := range times {
-		out = append(out, KVTrial(prof, clients, at))
-	}
+	out := make([]Report, len(times))
+	par.For(len(times), func(i int) {
+		out[i] = KVTrial(prof, clients, times[i])
+	})
 	return out
 }

@@ -49,6 +49,8 @@ type Device struct {
 	queued   []*Command
 	inflight []*Command
 	cmdSeq   uint64
+	order    map[uint64]*streamOrder // per-stream incomplete-command index
+	order0   *streamOrder            // order[0]: the single-queue fast path
 
 	// Writeback cache.
 	entries  []*cacheEntry // not-yet-durable pages in transfer order
@@ -94,6 +96,8 @@ func newDevice(k *sim.Kernel, cfg Config, arr *nand.Array) *Device {
 	return &Device{
 		k: k, cfg: cfg, arr: arr,
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		order:     make(map[uint64]*streamOrder),
+		order0:    &streamOrder{},
 		readMap:   make(map[uint64]any),
 		epochs:    make(map[uint64]uint64),
 		dmaBus:    sim.NewSemaphore(k, 1),
@@ -157,9 +161,16 @@ func (d *Device) Submit(c *Command) bool {
 	d.cmdSeq++
 	c.seq = d.cmdSeq
 	c.arrived = d.k.Now()
+	so := d.streamOrderFor(c.Stream)
+	so.all = append(so.all, c.seq) // cmdSeq is increasing: append keeps order
+	if c.Prio != PrioSimple {
+		so.ord = append(so.ord, c.seq)
+	}
 	d.queued = append(d.queued, c)
 	d.qdSeries.Record(d.k.Now(), float64(d.Occupancy()))
-	d.pickCond.Broadcast()
+	// At most len(queued) workers can pick something; waking the rest of
+	// the idle worker pool would be a futile dispatch each.
+	d.pickCond.SignalN(len(d.queued))
 	return true
 }
 
@@ -172,6 +183,54 @@ func (d *Device) WaitSpace(p *sim.Proc) {
 
 // --- command servicing ---
 
+// streamOrder tracks one stream's incomplete commands (queued and in
+// flight) as ascending seq lists. The seed's eligibility check re-scanned
+// the whole queue per candidate — O(n²) per pick, the simulator's hottest
+// path under deep queues; the index answers the same questions from the
+// list heads in O(1).
+type streamOrder struct {
+	all []uint64 // seqs of every incomplete command
+	ord []uint64 // seqs of incomplete ordered/head-of-queue commands
+}
+
+func (d *Device) streamOrderFor(stream uint64) *streamOrder {
+	if stream == 0 {
+		return d.order0
+	}
+	so := d.order[stream]
+	if so == nil {
+		so = &streamOrder{}
+		d.order[stream] = so
+	}
+	return so
+}
+
+// seqRemove deletes seq from an ascending list.
+func seqRemove(a []uint64, seq uint64) []uint64 {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a) && a[lo] == seq {
+		a = append(a[:lo], a[lo+1:]...)
+	}
+	return a
+}
+
+// retire drops a completed command from the ordering index.
+func (d *Device) retire(c *Command) {
+	so := d.streamOrderFor(c.Stream)
+	so.all = seqRemove(so.all, c.seq)
+	if c.Prio != PrioSimple {
+		so.ord = seqRemove(so.ord, c.seq)
+	}
+}
+
 // eligible reports whether queued command c may begin service under SCSI
 // ordering rules, given every incomplete command of the same stream with a
 // smaller sequence number. Ordering is scoped per stream: commands of other
@@ -182,29 +241,12 @@ func (d *Device) eligible(c *Command) bool {
 	case PrioHeadOfQueue:
 		return true
 	case PrioOrdered:
-		for _, o := range d.inflight {
-			if o.Stream == c.Stream && o.seq < c.seq {
-				return false
-			}
-		}
-		for _, o := range d.queued {
-			if o.Stream == c.Stream && o.seq < c.seq {
-				return false
-			}
-		}
-		return true
+		// Only after everything received before it (c is in all, so the
+		// head is c itself iff nothing older is incomplete).
+		return d.streamOrderFor(c.Stream).all[0] == c.seq
 	default: // simple: must not pass an earlier ordered/head-of-queue command
-		for _, o := range d.inflight {
-			if o.Stream == c.Stream && o.seq < c.seq && o.Prio != PrioSimple {
-				return false
-			}
-		}
-		for _, o := range d.queued {
-			if o.Stream == c.Stream && o.seq < c.seq && o.Prio != PrioSimple {
-				return false
-			}
-		}
-		return true
+		ord := d.streamOrderFor(c.Stream).ord
+		return len(ord) == 0 || ord[0] > c.seq
 	}
 }
 
@@ -386,9 +428,10 @@ func (d *Device) complete(p *sim.Proc, c *Command) {
 		}
 	}
 	c.complete = true
+	d.retire(c)
 	d.qdSeries.Record(p.Now(), float64(d.Occupancy()))
 	d.spaceCond.Broadcast()
-	d.pickCond.Broadcast()
+	d.pickCond.SignalN(len(d.queued))
 	if c.Done != nil {
 		c.Done(p.Now(), c)
 	}
@@ -505,7 +548,7 @@ func (d *Device) reaperLoop(p *sim.Proc) {
 		d.entries = kept
 		if retired {
 			d.doneCond.Broadcast()
-			d.pickCond.Broadcast()
+			d.pickCond.SignalN(len(d.queued))
 		}
 	}
 }
@@ -532,6 +575,8 @@ func (d *Device) Crash() {
 	}
 	d.queued = nil
 	d.inflight = nil
+	d.order = make(map[uint64]*streamOrder)
+	d.order0 = &streamOrder{}
 	d.arr.Fail()
 	// Wake every parked process so it can observe death and stand down.
 	d.pickCond.Broadcast()

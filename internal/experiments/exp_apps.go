@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/oltp"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/sqlmini"
 	"repro/internal/workload"
@@ -32,32 +33,46 @@ type Fig14Result struct{ Rows []Fig14Row }
 // OptFS vs BFS-OD.
 func Fig14(scale Scale) Fig14Result {
 	dur := scale.dur(60*sim.Millisecond, 500*sim.Millisecond)
-	var out Fig14Result
-	run := func(devName string, prof core.Profile, cfgName string, mode sqlmini.JournalMode, d sqlmini.Durability) {
-		k := sim.NewKernel()
-		defer k.Close()
-		s := core.NewStack(k, prof)
-		res := sqlmini.Bench(k, s, sqlmini.DefaultConfig(mode, d), dur)
-		out.Rows = append(out.Rows, Fig14Row{
-			Device: devName, Config: cfgName, Mode: mode, TxPerSec: res.TxPerSec,
-			P50: res.Latency.Median, P99: res.Latency.P99,
-		})
+	type cell struct {
+		dev  string
+		prof core.Profile
+		cfg  string
+		mode sqlmini.JournalMode
+		d    sqlmini.Durability
 	}
+	var cells []cell
 	// (a) UFS, durability guarantee.
 	for _, mode := range []sqlmini.JournalMode{sqlmini.Persist, sqlmini.WAL} {
-		run("UFS", core.EXT4DR(device.UFS()), "EXT4-DR", mode, sqlmini.Durable)
-		run("UFS", core.BFSDR(device.UFS()), "BFS-DR", mode, sqlmini.Durable)
+		cells = append(cells,
+			cell{"UFS", core.EXT4DR(device.UFS()), "EXT4-DR", mode, sqlmini.Durable},
+			cell{"UFS", core.BFSDR(device.UFS()), "BFS-DR", mode, sqlmini.Durable},
+		)
 	}
 	// (b) plain-SSD, ordering guarantee.
 	for _, mode := range []sqlmini.JournalMode{sqlmini.Persist, sqlmini.WAL} {
-		run("plain-SSD", core.EXT4OD(device.PlainSSD()), "EXT4-OD", mode, sqlmini.OrderingOnly)
-		run("plain-SSD", core.OptFS(device.PlainSSD()), "OptFS", mode, sqlmini.OrderingOnly)
-		run("plain-SSD", core.BFSOD(device.PlainSSD()), "BFS-OD", mode, sqlmini.OrderingOnly)
+		cells = append(cells,
+			cell{"plain-SSD", core.EXT4OD(device.PlainSSD()), "EXT4-OD", mode, sqlmini.OrderingOnly},
+			cell{"plain-SSD", core.OptFS(device.PlainSSD()), "OptFS", mode, sqlmini.OrderingOnly},
+			cell{"plain-SSD", core.BFSOD(device.PlainSSD()), "BFS-OD", mode, sqlmini.OrderingOnly},
+		)
 	}
 	// Reference: the 73x headline compares BFS-OD against EXT4-DR on
 	// plain-SSD in PERSIST mode.
-	run("plain-SSD", core.EXT4DR(device.PlainSSD()), "EXT4-DR", sqlmini.Persist, sqlmini.Durable)
-	return out
+	cells = append(cells,
+		cell{"plain-SSD", core.EXT4DR(device.PlainSSD()), "EXT4-DR", sqlmini.Persist, sqlmini.Durable})
+	rows := make([]Fig14Row, len(cells))
+	par.For(len(cells), func(i int) {
+		c := cells[i]
+		k := sim.NewKernel()
+		defer k.Close()
+		s := core.NewStack(k, c.prof)
+		res := sqlmini.Bench(k, s, sqlmini.DefaultConfig(c.mode, c.d), dur)
+		rows[i] = Fig14Row{
+			Device: c.dev, Config: c.cfg, Mode: c.mode, TxPerSec: res.TxPerSec,
+			P50: res.Latency.Median, P99: res.Latency.P99,
+		}
+	})
+	return Fig14Result{Rows: rows}
 }
 
 func (r Fig14Result) String() string {
@@ -89,7 +104,6 @@ type Fig15Result struct{ Rows []Fig15Row }
 // EXT4-DR, BFS-DR, OptFS, EXT4-OD and BFS-OD on plain-SSD and supercap-SSD.
 func Fig15(scale Scale) Fig15Result {
 	dur := scale.dur(60*sim.Millisecond, 400*sim.Millisecond)
-	var out Fig15Result
 	profiles := []struct {
 		name string
 		mk   func(device.Config) core.Profile
@@ -100,42 +114,38 @@ func Fig15(scale Scale) Fig15Result {
 		{"EXT4-OD", core.EXT4OD},
 		{"BFS-OD", core.BFSOD},
 	}
-	for _, dev := range []func() device.Config{device.PlainSSD, device.SupercapSSD} {
-		for _, pr := range profiles {
-			// varmail
-			{
-				k := sim.NewKernel()
-				s := core.NewStack(k, pr.mk(dev()))
-				cfg := workload.DefaultVarmail()
-				cfg.Duration, cfg.Warmup = dur, dur/8
-				if scale == Quick {
-					cfg.Threads = 8
-					cfg.Files = 32
-				}
-				res := workload.Varmail(k, s, cfg)
-				k.Close()
-				out.Rows = append(out.Rows, Fig15Row{
-					Device: dev().Name, Workload: "varmail", Config: pr.name, PerSec: res.OpsPerS,
-				})
+	devices := []func() device.Config{device.PlainSSD, device.SupercapSSD}
+	rows := make([]Fig15Row, 2*len(devices)*len(profiles))
+	par.For(len(rows), func(i int) {
+		dev := devices[i/(2*len(profiles))]()
+		pr := profiles[i/2%len(profiles)]
+		k := sim.NewKernel()
+		defer k.Close()
+		s := core.NewStack(k, pr.mk(dev))
+		if i%2 == 0 { // varmail
+			cfg := workload.DefaultVarmail()
+			cfg.Duration, cfg.Warmup = dur, dur/8
+			if scale == Quick {
+				cfg.Threads = 8
+				cfg.Files = 32
 			}
-			// OLTP-insert
-			{
-				k := sim.NewKernel()
-				s := core.NewStack(k, pr.mk(dev()))
-				cfg := oltp.DefaultConfig()
-				if scale == Quick {
-					cfg.Clients = 4
-				}
-				res := oltp.Bench(k, s, cfg, dur)
-				k.Close()
-				out.Rows = append(out.Rows, Fig15Row{
-					Device: dev().Name, Workload: "OLTP-insert", Config: pr.name, PerSec: res.TxPerSec,
-					P50: res.Latency.Median, P99: res.Latency.P99,
-				})
+			res := workload.Varmail(k, s, cfg)
+			rows[i] = Fig15Row{
+				Device: dev.Name, Workload: "varmail", Config: pr.name, PerSec: res.OpsPerS,
+			}
+		} else { // OLTP-insert
+			cfg := oltp.DefaultConfig()
+			if scale == Quick {
+				cfg.Clients = 4
+			}
+			res := oltp.Bench(k, s, cfg, dur)
+			rows[i] = Fig15Row{
+				Device: dev.Name, Workload: "OLTP-insert", Config: pr.name, PerSec: res.TxPerSec,
+				P50: res.Latency.Median, P99: res.Latency.P99,
 			}
 		}
-	}
-	return out
+	})
+	return Fig15Result{Rows: rows}
 }
 
 func (r Fig15Result) String() string {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -24,25 +25,29 @@ type Fig1Result struct{ Rows []Fig1Row }
 // Fig1 reproduces Fig. 1: as device parallelism grows, ordered-write
 // throughput collapses relative to buffered-write throughput.
 func Fig1(scale Scale) Fig1Result {
-	var out Fig1Result
 	dur := scale.dur(50*sim.Millisecond, 300*sim.Millisecond)
-	for i := 0; i < device.NumFig1Devices; i++ {
-		cfg := device.Fig1Device(i)
-		buffered := runRandPolicy(core.EXT4OD(cfg), workload.PolicyP, dur)
-		ordered := runRandPolicy(core.EXT4DR(cfg), workload.PolicyXnF, dur)
-		ratio := 0.0
-		if buffered.IOPS > 0 {
-			ratio = ordered.IOPS / buffered.IOPS * 100
-		}
-		out.Rows = append(out.Rows, Fig1Row{
-			Device:       cfg.Name,
-			Channels:     cfg.Geometry.Channels,
-			BufferedIOPS: buffered.IOPS,
-			OrderedIOPS:  ordered.IOPS,
-			RatioPercent: ratio,
-		})
+	rows := make([]Fig1Row, device.NumFig1Devices)
+	par.For(len(rows), func(i int) {
+		rows[i] = fig1Device(i, dur)
+	})
+	return Fig1Result{Rows: rows}
+}
+
+func fig1Device(i int, dur sim.Duration) Fig1Row {
+	cfg := device.Fig1Device(i)
+	buffered := runRandPolicy(core.EXT4OD(cfg), workload.PolicyP, dur)
+	ordered := runRandPolicy(core.EXT4DR(cfg), workload.PolicyXnF, dur)
+	ratio := 0.0
+	if buffered.IOPS > 0 {
+		ratio = ordered.IOPS / buffered.IOPS * 100
 	}
-	return out
+	return Fig1Row{
+		Device:       cfg.Name,
+		Channels:     cfg.Geometry.Channels,
+		BufferedIOPS: buffered.IOPS,
+		OrderedIOPS:  ordered.IOPS,
+		RatioPercent: ratio,
+	}
 }
 
 func (r Fig1Result) String() string {
@@ -58,16 +63,7 @@ func (r Fig1Result) String() string {
 // Fig1Device runs a single device of the Fig. 1 sweep at Quick scale
 // (bench helper).
 func Fig1Device(i int) Fig1Row {
-	cfg := device.Fig1Device(i)
-	dur := 50 * sim.Millisecond
-	buffered := runRandPolicy(core.EXT4OD(cfg), workload.PolicyP, dur)
-	ordered := runRandPolicy(core.EXT4DR(cfg), workload.PolicyXnF, dur)
-	ratio := 0.0
-	if buffered.IOPS > 0 {
-		ratio = ordered.IOPS / buffered.IOPS * 100
-	}
-	return Fig1Row{Device: cfg.Name, Channels: cfg.Geometry.Channels,
-		BufferedIOPS: buffered.IOPS, OrderedIOPS: ordered.IOPS, RatioPercent: ratio}
+	return fig1Device(i, 50*sim.Millisecond)
 }
 
 func runRandPolicy(prof core.Profile, po workload.Policy, dur sim.Duration) workload.RandWriteResult {
@@ -93,17 +89,15 @@ type Fig9Result struct{ Rows []Fig9Row }
 // Fig9 reproduces Fig. 9: IOPS and queue depth of 4KB random writes under
 // XnF / X / B / P on UFS, plain-SSD and supercap-SSD.
 func Fig9(scale Scale) Fig9Result {
-	var out Fig9Result
 	dur := scale.dur(60*sim.Millisecond, 400*sim.Millisecond)
 	devices := []func() device.Config{device.UFS, device.PlainSSD, device.SupercapSSD}
-	for _, dev := range devices {
-		for _, po := range []workload.Policy{workload.PolicyXnF, workload.PolicyX, workload.PolicyB, workload.PolicyP} {
-			prof := profileForPolicy(po, dev())
-			res := runRandPolicy(prof, po, dur)
-			out.Rows = append(out.Rows, Fig9Row{Device: dev().Name, Result: res})
-		}
-	}
-	return out
+	policies := []workload.Policy{workload.PolicyXnF, workload.PolicyX, workload.PolicyB, workload.PolicyP}
+	rows := make([]Fig9Row, len(devices)*len(policies))
+	par.For(len(rows), func(i int) {
+		dev, po := devices[i/len(policies)](), policies[i%len(policies)]
+		rows[i] = Fig9Row{Device: dev.Name, Result: runRandPolicy(profileForPolicy(po, dev), po, dur)}
+	})
+	return Fig9Result{Rows: rows}
 }
 
 // profileForPolicy maps a Fig. 9 policy to its stack configuration.
@@ -142,36 +136,31 @@ type Fig10Result struct {
 // Fig10 reproduces Fig. 10: the queue-depth timeline under Wait-on-Transfer
 // stays pinned at <=1 while the barrier-enabled run saturates the queue.
 func Fig10(scale Scale) []Fig10Result {
-	var out []Fig10Result
 	dur := scale.dur(40*sim.Millisecond, 200*sim.Millisecond)
-	for _, dev := range []func() device.Config{device.PlainSSD, device.UFS} {
-		res := Fig10Result{Device: dev().Name}
-		// X: Wait-on-Transfer.
-		{
-			k := sim.NewKernel()
-			s := core.NewStack(k, core.EXT4OD(dev()))
-			cfg := workload.DefaultRandWrite(workload.PolicyX)
-			cfg.Duration, cfg.Warmup, cfg.FilePages = dur, dur/5, 512
-			r := workload.RandWrite(k, s, cfg)
-			res.XMeanQD = r.MeanQD
-			res.XTrace = s.Dev.QDSeries().AsciiPlot(r.Start, r.Start.Add(sim.Duration(r.End-r.Start)/3), 12,
-				float64(dev().QueueDepth))
-			k.Close()
-		}
-		// B: barrier.
-		{
-			k := sim.NewKernel()
-			s := core.NewStack(k, core.BFSOD(dev()))
-			cfg := workload.DefaultRandWrite(workload.PolicyB)
-			cfg.Duration, cfg.Warmup, cfg.FilePages = dur, dur/5, 512
-			r := workload.RandWrite(k, s, cfg)
-			res.BMeanQD = r.MeanQD
-			res.BTrace = s.Dev.QDSeries().AsciiPlot(r.Start, r.Start.Add(sim.Duration(r.End-r.Start)/3), 12,
-				float64(dev().QueueDepth))
-			k.Close()
-		}
-		out = append(out, res)
+	devices := []func() device.Config{device.PlainSSD, device.UFS}
+	out := make([]Fig10Result, len(devices))
+	run := func(prof core.Profile, po workload.Policy, qd int) (float64, string) {
+		k := sim.NewKernel()
+		defer k.Close()
+		s := core.NewStack(k, prof)
+		cfg := workload.DefaultRandWrite(po)
+		cfg.Duration, cfg.Warmup, cfg.FilePages = dur, dur/5, 512
+		r := workload.RandWrite(k, s, cfg)
+		return r.MeanQD, s.Dev.QDSeries().AsciiPlot(r.Start,
+			r.Start.Add(sim.Duration(r.End-r.Start)/3), 12, float64(qd))
 	}
+	for i, dev := range devices {
+		out[i].Device = dev().Name
+	}
+	// Four independent kernels: device x {Wait-on-Transfer, barrier}.
+	par.For(2*len(devices), func(i int) {
+		dev := devices[i/2]()
+		if i%2 == 0 {
+			out[i/2].XMeanQD, out[i/2].XTrace = run(core.EXT4OD(dev), workload.PolicyX, dev.QueueDepth)
+		} else {
+			out[i/2].BMeanQD, out[i/2].BTrace = run(core.BFSOD(dev), workload.PolicyB, dev.QueueDepth)
+		}
+	})
 	return out
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fs"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -25,24 +26,22 @@ type Table1Result struct{ Rows []Table1Row }
 // 99th, 99.9th, 99.99th percentile) for EXT4 vs BarrierFS on the three
 // devices.
 func Table1(scale Scale) Table1Result {
-	var out Table1Result
 	n := scale.n(400, 5000)
 	devices := []func() device.Config{device.UFS, device.PlainSSD, device.SupercapSSD}
-	for _, dev := range devices {
-		for _, mk := range []struct {
-			name string
-			prof core.Profile
-		}{
-			{"EXT4", core.EXT4DR(dev())},
-			{"BFS", core.BFSDR(dev())},
-		} {
-			rec := fsyncLatencies(mk.prof, n)
-			out.Rows = append(out.Rows, Table1Row{
-				Device: dev().Name, FS: mk.name, Summary: rec.Summarize(),
-			})
-		}
+	fses := []struct {
+		name string
+		mk   func(device.Config) core.Profile
+	}{
+		{"EXT4", core.EXT4DR},
+		{"BFS", core.BFSDR},
 	}
-	return out
+	rows := make([]Table1Row, len(devices)*len(fses))
+	par.For(len(rows), func(i int) {
+		dev, f := devices[i/len(fses)](), fses[i%len(fses)]
+		rec := fsyncLatencies(f.mk(dev), n)
+		rows[i] = Table1Row{Device: dev.Name, FS: f.name, Summary: rec.Summarize()}
+	})
+	return Table1Result{Rows: rows}
 }
 
 // fsyncLatencies runs a 4KB write+fsync loop and records per-call latency.
@@ -97,27 +96,23 @@ type Fig11Result struct{ Rows []Fig11Row }
 // as fdatasync on fast devices — the effect behind the paper's fractional
 // counts.
 func Fig11(scale Scale) Fig11Result {
-	var out Fig11Result
 	n := scale.n(300, 3000)
 	devices := []func() device.Config{device.UFS, device.PlainSSD, device.SupercapSSD}
-	for _, dev := range devices {
-		for _, cfgc := range []struct {
-			name string
-			prof core.Profile
-		}{
-			{"EXT4-DR", core.EXT4DR(dev())},
-			{"BFS-DR", core.BFSDR(dev())},
-			{"EXT4-OD", core.EXT4OD(dev())},
-			{"BFS-OD", core.BFSOD(dev())},
-		} {
-			out.Rows = append(out.Rows, Fig11Row{
-				Device:   dev().Name,
-				Config:   cfgc.name,
-				Switches: switchesPerSync(cfgc.prof, n),
-			})
-		}
+	cfgs := []struct {
+		name string
+		mk   func(device.Config) core.Profile
+	}{
+		{"EXT4-DR", core.EXT4DR},
+		{"BFS-DR", core.BFSDR},
+		{"EXT4-OD", core.EXT4OD},
+		{"BFS-OD", core.BFSOD},
 	}
-	return out
+	rows := make([]Fig11Row, len(devices)*len(cfgs))
+	par.For(len(rows), func(i int) {
+		dev, c := devices[i/len(cfgs)](), cfgs[i%len(cfgs)]
+		rows[i] = Fig11Row{Device: dev.Name, Config: c.name, Switches: switchesPerSync(c.mk(dev), n)}
+	})
+	return Fig11Result{Rows: rows}
 }
 
 // switchesPerSync measures voluntary context switches per sync call for a
@@ -194,8 +189,13 @@ func Fig12(scale Scale) Fig12Result {
 			qd.AsciiPlot(warm, warm.Add(window), 12, float64(prof.Device.QueueDepth))
 	}
 	var out Fig12Result
-	out.FsyncPeakQD, out.FsyncTrace = run(false)
-	out.FbarrierPeakQD, out.FbarrierTrace = run(true)
+	par.For(2, func(i int) {
+		if i == 0 {
+			out.FsyncPeakQD, out.FsyncTrace = run(false)
+		} else {
+			out.FbarrierPeakQD, out.FbarrierTrace = run(true)
+		}
+	})
 	return out
 }
 
@@ -220,35 +220,34 @@ type Fig13Result struct{ Rows []Fig13Row }
 // Fig13 reproduces Fig. 13 (fxmark DWSL): filesystem journaling throughput
 // vs core count for EXT4-DR and BFS-DR on plain-SSD and supercap-SSD.
 func Fig13(scale Scale) Fig13Result {
-	var out Fig13Result
 	threads := []int{1, 2, 4, 6, 8, 10, 12}
 	if scale == Quick {
 		threads = []int{1, 2, 4, 8}
 	}
 	dur := scale.dur(80*sim.Millisecond, 400*sim.Millisecond)
-	for _, dev := range []func() device.Config{device.PlainSSD, device.SupercapSSD} {
-		for _, mk := range []struct {
-			name string
-			prof func(device.Config) core.Profile
-		}{
-			{"EXT4-DR", core.EXT4DR},
-			{"BFS-DR", core.BFSDR},
-		} {
-			for _, th := range threads {
-				k := sim.NewKernel()
-				s := core.NewStack(k, mk.prof(dev()))
-				cfg := workload.DefaultDWSL(th)
-				cfg.Duration = dur
-				cfg.Warmup = dur / 8
-				res := workload.DWSL(k, s, cfg)
-				k.Close()
-				out.Rows = append(out.Rows, Fig13Row{
-					Device: dev().Name, FS: mk.name, Threads: th, OpsPerS: res.OpsPerS,
-				})
-			}
-		}
+	devices := []func() device.Config{device.PlainSSD, device.SupercapSSD}
+	fses := []struct {
+		name string
+		prof func(device.Config) core.Profile
+	}{
+		{"EXT4-DR", core.EXT4DR},
+		{"BFS-DR", core.BFSDR},
 	}
-	return out
+	rows := make([]Fig13Row, len(devices)*len(fses)*len(threads))
+	par.For(len(rows), func(i int) {
+		dev := devices[i/(len(fses)*len(threads))]()
+		mk := fses[i/len(threads)%len(fses)]
+		th := threads[i%len(threads)]
+		k := sim.NewKernel()
+		defer k.Close()
+		s := core.NewStack(k, mk.prof(dev))
+		cfg := workload.DefaultDWSL(th)
+		cfg.Duration = dur
+		cfg.Warmup = dur / 8
+		res := workload.DWSL(k, s, cfg)
+		rows[i] = Fig13Row{Device: dev.Name, FS: mk.name, Threads: th, OpsPerS: res.OpsPerS}
+	})
+	return Fig13Result{Rows: rows}
 }
 
 func (r Fig13Result) String() string {
@@ -292,9 +291,11 @@ func Fig8(scale Scale) Fig8Result {
 		{"EXT4 full flush (tD+tC+tF)", core.EXT4DR(device.PlainSSD()),
 			func(s *core.Stack, p *sim.Proc, f *fs.Inode) { s.FS.Fsync(p, f) }},
 	}
-	var out Fig8Result
-	for _, c := range cases {
+	rows := make([]Fig8Row, len(cases))
+	par.For(len(cases), func(ci int) {
+		c := cases[ci]
 		k := sim.NewKernel()
+		defer k.Close()
 		s := core.NewStack(k, c.prof)
 		var first, last sim.Time
 		commits := 0
@@ -315,18 +316,17 @@ func Fig8(scale Scale) Fig8Result {
 			k.Stop()
 		})
 		k.Run()
-		k.Close()
 		interval := 0.0
 		if commits > 1 {
 			interval = sim.Duration(last-first).Micros() / float64(commits-1)
 		}
-		out.Rows = append(out.Rows, Fig8Row{
+		rows[ci] = Fig8Row{
 			Mode:       c.mode,
 			IntervalUs: interval,
 			CommitsPS:  1e6 / interval,
-		})
-	}
-	return out
+		}
+	})
+	return Fig8Result{Rows: rows}
 }
 
 func (r Fig8Result) String() string {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/crashtest"
 	"repro/internal/device"
 	"repro/internal/kvwal"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -57,21 +58,22 @@ func KV(scale Scale) KVResult {
 		core.EXT4DR, core.BFSDR, core.EXT4MQ, core.BFSMQ,
 	}
 	var out KVResult
-	for _, clients := range clientCounts {
-		for _, mk := range profiles {
-			prof := mk(device.NVMeSSD())
-			k := sim.NewKernel()
-			s := core.NewStack(k, prof)
-			res := kvwal.Bench(k, s, kvwal.DefaultBenchConfig(clients), dur)
-			k.Close()
-			out.Rows = append(out.Rows, KVRow{
-				Config: prof.Name, Clients: clients,
-				OpsPerS: res.OpsPerS, GroupMean: res.GroupMean,
-				P50: res.Latency.Median, P99: res.Latency.P99, P999: res.Latency.P999,
-			})
+	out.Rows = make([]KVRow, len(clientCounts)*len(profiles))
+	par.For(len(out.Rows), func(i int) {
+		clients := clientCounts[i/len(profiles)]
+		prof := profiles[i%len(profiles)](device.NVMeSSD())
+		k := sim.NewKernel()
+		defer k.Close()
+		s := core.NewStack(k, prof)
+		res := kvwal.Bench(k, s, kvwal.DefaultBenchConfig(clients), dur)
+		out.Rows[i] = KVRow{
+			Config: prof.Name, Clients: clients,
+			OpsPerS: res.OpsPerS, GroupMean: res.GroupMean,
+			P50: res.Latency.Median, P99: res.Latency.P99, P999: res.Latency.P999,
 		}
-	}
+	})
 	// Crash sweep: enumerated crash points per profile, concurrent clients.
+	// KVSweep fans its trials out itself, so the profile loop stays serial.
 	n := scale.n(4, 10)
 	var times []sim.Time
 	for i := 1; i <= n; i++ {

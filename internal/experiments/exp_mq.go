@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -112,9 +113,21 @@ func MQPoint(streams, hwq int, dur sim.Duration) (iops float64, epochs int64) {
 func MQScaling(scale Scale) MQScalingResult {
 	var out MQScalingResult
 	dur := scale.dur(12*sim.Millisecond, 80*sim.Millisecond)
-	for _, streams := range []int{1, 2, 4, 8} {
-		sIOPS, sEpochs := MQPoint(streams, 0, dur)
-		mIOPS, mEpochs := MQPoint(streams, streams, dur)
+	streamCounts := []int{1, 2, 4, 8}
+	// One kernel per (streams, layer) point: 8 independent measurements.
+	iops := make([]float64, 2*len(streamCounts))
+	epochs := make([]int64, 2*len(streamCounts))
+	par.For(len(iops), func(i int) {
+		streams := streamCounts[i/2]
+		hwq := 0
+		if i%2 == 1 {
+			hwq = streams
+		}
+		iops[i], epochs[i] = MQPoint(streams, hwq, dur)
+	})
+	for si, streams := range streamCounts {
+		sIOPS, sEpochs := iops[2*si], epochs[2*si]
+		mIOPS, mEpochs := iops[2*si+1], epochs[2*si+1]
 		speed := 0.0
 		if sIOPS > 0 {
 			speed = mIOPS / sIOPS
@@ -127,13 +140,14 @@ func MQScaling(scale Scale) MQScalingResult {
 		)
 	}
 	fsDur := scale.dur(40*sim.Millisecond, 200*sim.Millisecond)
-	for _, prof := range []core.Profile{
+	profs := []core.Profile{
 		core.EXT4DR(device.NVMeSSD()), core.EXT4MQ(device.NVMeSSD()),
 		core.BFSDR(device.NVMeSSD()), core.BFSMQ(device.NVMeSSD()),
-	} {
-		out.FS = append(out.FS, MQFSRow{Config: prof.Name,
-			OpsPerS: mqFSPoint(prof, fsDur)})
 	}
+	out.FS = make([]MQFSRow, len(profs))
+	par.For(len(profs), func(i int) {
+		out.FS[i] = MQFSRow{Config: profs[i].Name, OpsPerS: mqFSPoint(profs[i], fsDur)}
+	})
 	return out
 }
 

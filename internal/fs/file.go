@@ -22,7 +22,10 @@ func (f *FS) Write(p *sim.Proc, i *Inode, idx int64) {
 		i.pages[idx] = pg
 	}
 	pg.ver = f.writeVer
-	pg.dirty = true
+	if !pg.dirty {
+		pg.dirty = true
+		i.dirtyPg = append(i.dirtyPg, pg)
+	}
 	f.stats.Writes++
 	if f.pdflushCond != nil && f.pdflushCond.Waiters() > 0 {
 		f.pdflushCond.Broadcast()
@@ -104,18 +107,16 @@ type writebackPlan struct {
 // submitted; the caller decides whether to wait.
 func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast bool) writebackPlan {
 	var plan writebackPlan
-	var dirty []*page
-	for _, pg := range i.pages {
-		if pg.dirty {
-			dirty = append(dirty, pg)
-		}
-	}
+	// Every dirty page is on the inode's dirty list; writeback cleans them
+	// all, so the list resets wholesale below.
+	dirty := i.dirtyPg
 	// Deterministic order: by page index.
 	for a := 1; a < len(dirty); a++ {
 		for b := a; b > 0 && dirty[b-1].idx > dirty[b].idx; b-- {
 			dirty[b-1], dirty[b] = dirty[b], dirty[b-1]
 		}
 	}
+	i.dirtyPg = nil
 	for _, pg := range dirty {
 		journalIt := f.opts.Mode == DataJournal ||
 			(f.opts.SelectiveDataJournal && pg.everSynced)

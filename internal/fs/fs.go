@@ -150,6 +150,9 @@ type Inode struct {
 	// marked clean at submission, so the sync calls must be able to wait on
 	// writeback they did not plan themselves (filemap_fdatawait).
 	inflight []*block.Request
+	// dirtyPg lists the dirty pages (append-on-dirty), so writeback and the
+	// dirty counters never re-scan the whole page cache.
+	dirtyPg []*page
 }
 
 // Ino returns the inode number.
@@ -162,15 +165,7 @@ func (i *Inode) Size() int64 { return i.size }
 func (i *Inode) IsDir() bool { return i.dir }
 
 // DirtyPages returns the number of dirty page-cache entries.
-func (i *Inode) DirtyPages() int {
-	n := 0
-	for _, pg := range i.pages {
-		if pg.dirty {
-			n++
-		}
-	}
-	return n
-}
+func (i *Inode) DirtyPages() int { return len(i.dirtyPg) }
 
 func (i *Inode) snapshot() any {
 	m := InodeMeta{
@@ -209,6 +204,7 @@ type FS struct {
 	opts  Options
 
 	inodes      map[Ino]*Inode
+	inodeList   []*Inode // ascending ino; deterministic whole-FS iteration
 	pdflushCond *sim.Cond
 	byHome      map[uint64]*Inode
 	root        *Inode
@@ -262,7 +258,9 @@ func (f *FS) pdflush(p *sim.Proc) {
 			continue
 		}
 		p.Sleep(f.opts.PdflushInterval)
-		for _, i := range f.inodes {
+		// inodeList, not the inode map: map iteration order would leak
+		// run-to-run nondeterminism into the writeback submission order.
+		for _, i := range f.inodeList {
 			if i.DirtyPages() > 0 {
 				f.writeback(p, i, block.FlagBackground, false)
 				f.stats.PdflushRuns++
@@ -272,11 +270,9 @@ func (f *FS) pdflush(p *sim.Proc) {
 }
 
 func (f *FS) anyDirty() bool {
-	for _, i := range f.inodes {
-		for _, pg := range i.pages {
-			if pg.dirty {
-				return true
-			}
+	for _, i := range f.inodeList {
+		if len(i.dirtyPg) > 0 {
+			return true
 		}
 	}
 	return false
@@ -324,6 +320,7 @@ func (f *FS) newInode(ino Ino, dir bool) *Inode {
 	i.buf = &jbd.Buffer{Home: i.home, Name: fmt.Sprintf("inode-%d", ino)}
 	i.buf.Snapshot = i.snapshot
 	f.inodes[ino] = i
+	f.inodeList = append(f.inodeList, i) // ino is monotonic: stays sorted
 	f.byHome[i.home] = i
 	return i
 }
@@ -424,6 +421,12 @@ func (f *FS) Unlink(p *sim.Proc, dir *Inode, name string) error {
 			f.j.DirtyBuffer(p, f.allocBufFor(child.ino), nil)
 			delete(f.inodes, child.ino)
 			delete(f.byHome, child.home)
+			for n, o := range f.inodeList {
+				if o == child {
+					f.inodeList = append(f.inodeList[:n], f.inodeList[n+1:]...)
+					break
+				}
+			}
 		}
 	}
 	f.stats.Unlinks++

@@ -154,7 +154,9 @@ func (f *FS) fdatabarrierDual(p *sim.Proc, i *Inode) {
 // SyncFS flushes everything: all dirty files, a journal commit and a device
 // flush. Used by tests and orderly shutdown.
 func (f *FS) SyncFS(p *sim.Proc) {
-	for _, i := range f.inodes {
+	// inodeList, not the inode map: map iteration order would make the
+	// writeback order — and the whole dispatch trace — nondeterministic.
+	for _, i := range f.inodeList {
 		f.waitCrossStream(p, i)
 		plan := f.writeback(p, i, 0, false)
 		f.waitAll(p, plan)

@@ -1,0 +1,59 @@
+// Package par fans independent simulation kernels out across CPUs.
+//
+// Every experiment sweep in this repository is embarrassingly parallel: each
+// cell builds its own sim.Kernel, its own stack, and writes one result slot.
+// par.For runs those cells on up to GOMAXPROCS worker goroutines. Results
+// stay deterministic because workers communicate only through their own
+// index's slot — the schedule assigns indices, never data.
+//
+// Parallelism is process-global and on by default; `repro -parallel=false`
+// (or SetEnabled(false)) forces serial execution, e.g. when profiling a
+// single kernel.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var disabled atomic.Bool
+
+// SetEnabled turns the worker-pool fan-out on or off process-wide.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether For fans out.
+func Enabled() bool { return !disabled.Load() }
+
+// For runs fn(i) for every i in [0, n), on min(GOMAXPROCS, n) goroutines
+// when parallel execution is enabled, serially otherwise. It returns when
+// every call has finished. fn must confine its side effects to state owned
+// by index i.
+func For(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if !Enabled() || workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,8 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // event is a scheduled wake-up for a process. token guards against stale
@@ -16,40 +17,53 @@ type event struct {
 	token uint64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
-
 // Kernel is the discrete-event scheduler. All simulation state hangs off a
 // single Kernel; exactly one process runs at any moment, so process code can
 // freely mutate shared simulation state without locks.
+//
+// Scheduling uses a single-handoff baton: the dispatch loop (next) runs on
+// whichever goroutine is giving up control, which hands the baton directly
+// to the next runnable process's goroutine and then parks. One goroutine
+// switch per simulated event, instead of the seed's two (yield to the
+// kernel goroutine, then resume from it). The baton returns to the Run
+// caller only when no runnable event remains, the time limit is reached, or
+// Stop was called.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
-	yield   chan struct{}
+	q       eventQueue
+	ref     *refQueue // non-nil: use the container/heap oracle (testing)
 	procs   []*Proc
 	live    int
 	cur     *Proc
 	stopped bool
 	closed  bool
+	closing bool
+
+	until      Time          // RunUntil limit, read by next()
+	single     bool          // Step mode: return the baton after one dispatch
+	singleDone bool          // Step mode: an event was dispatched
+	done       chan struct{} // baton handoff back to the Run/Step/Close caller
+
+	pool       []*worker // parked worker goroutines ready for reuse
+	goroutines atomic.Int64
+	wg         sync.WaitGroup
+
+	tr *Trace
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{done: make(chan struct{}, 1)}
+}
+
+// NewReferenceKernel returns a kernel whose event queue is the seed's
+// container/heap implementation. It exists as the dispatch-order oracle for
+// the golden trace tests; use NewKernel everywhere else.
+func NewReferenceKernel() *Kernel {
+	k := NewKernel()
+	k.ref = &refQueue{}
+	return k
 }
 
 // Now returns the current virtual time.
@@ -65,12 +79,60 @@ func (k *Kernel) Live() int { return k.live }
 // Procs returns all processes ever spawned, including dead ones.
 func (k *Kernel) Procs() []*Proc { return k.procs }
 
+// Goroutines returns the number of worker goroutines currently alive,
+// including pooled idle ones. After Close it is zero; the leak regression
+// test pins that.
+func (k *Kernel) Goroutines() int { return int(k.goroutines.Load()) }
+
 func (k *Kernel) schedule(at Time, p *Proc) {
 	if at < k.now {
 		at = k.now
 	}
 	k.seq++
-	k.events.pushEvent(event{at: at, seq: k.seq, p: p, token: p.token})
+	e := event{at: at, seq: k.seq, p: p, token: p.token}
+	if k.ref != nil {
+		k.ref.push(e)
+		return
+	}
+	k.q.push(e, k.now)
+}
+
+func (k *Kernel) qlen() int {
+	if k.ref != nil {
+		return k.ref.len()
+	}
+	return k.q.len()
+}
+
+func (k *Kernel) qpeek() (event, bool) {
+	if k.ref != nil {
+		return k.ref.peek()
+	}
+	return k.q.peek()
+}
+
+func (k *Kernel) qpop() event {
+	if k.ref != nil {
+		return k.ref.pop()
+	}
+	return k.q.pop()
+}
+
+// getWorker reuses a pooled worker goroutine or starts a new one. Pooling
+// means short-lived spawned procs (group-commit leaders, per-request
+// writeback procs) stop paying goroutine and channel setup per spawn.
+func (k *Kernel) getWorker() *worker {
+	if n := len(k.pool); n > 0 {
+		w := k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+		return w
+	}
+	w := &worker{k: k, resume: make(chan resumeMsg, 1)}
+	k.goroutines.Add(1)
+	k.wg.Add(1)
+	go w.loop()
+	return w
 }
 
 // Spawn creates a new process named name running fn and schedules it to
@@ -80,17 +142,19 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	if k.closed {
 		panic("sim: Spawn on closed kernel")
 	}
+	w := k.getWorker()
 	p := &Proc{
 		k:      k,
 		id:     len(k.procs),
 		name:   name,
 		fn:     fn,
 		state:  statePending,
-		resume: make(chan resumeMsg),
+		w:      w,
+		resume: w.resume,
 	}
+	w.p = p
 	k.procs = append(k.procs, p)
 	k.live++
-	go p.run()
 	k.schedule(k.now, p)
 	return p
 }
@@ -111,20 +175,10 @@ func (k *Kernel) RunUntil(t Time) Time {
 		panic("sim: RunUntil on closed kernel")
 	}
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		e := k.events.peek()
-		if e.at > t {
-			k.now = t
-			return k.now
-		}
-		k.events.popEvent()
-		if e.p.state == stateDead || e.token != e.p.token {
-			continue // stale wake-up
-		}
-		k.now = e.at
-		k.dispatch(e.p)
-	}
-	if len(k.events) == 0 && t != MaxTime && t > k.now {
+	k.until = t
+	k.next()
+	<-k.done
+	if k.qlen() == 0 && t != MaxTime && t > k.now {
 		k.now = t
 	}
 	return k.now
@@ -132,41 +186,87 @@ func (k *Kernel) RunUntil(t Time) Time {
 
 // Step processes exactly one event, returning false when none remain.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		e := k.events.popEvent()
+	k.until = MaxTime
+	k.single = true
+	k.singleDone = false
+	k.next()
+	<-k.done
+	k.single = false
+	return k.singleDone
+}
+
+// next pops and dispatches the next runnable event. It is the heart of the
+// single-handoff scheduler: it executes on whichever goroutine is yielding
+// (a blocking or finishing process, or the Run caller entering the
+// simulation), wakes the next process's goroutine directly, and returns so
+// the caller can park on its own channel. When nothing is dispatchable the
+// baton goes home to the Run caller via k.done instead.
+func (k *Kernel) next() {
+	for {
+		if k.single {
+			if k.singleDone {
+				k.home()
+				return
+			}
+		} else if k.stopped {
+			k.home()
+			return
+		}
+		e, ok := k.qpeek()
+		if !ok {
+			k.home()
+			return
+		}
+		if e.at > k.until {
+			k.now = k.until
+			k.home()
+			return
+		}
+		k.qpop()
 		if e.p.state == stateDead || e.token != e.p.token {
-			continue
+			continue // stale wake-up
 		}
 		k.now = e.at
-		k.dispatch(e.p)
-		return true
+		if k.tr != nil {
+			k.tr.record(e)
+		}
+		p := e.p
+		k.cur = p
+		p.state = stateRunning
+		p.wakeups++
+		k.singleDone = true
+		p.resume <- resumeMsg{} // buffered: hand off without blocking
+		return
 	}
-	return false
 }
 
-func (k *Kernel) dispatch(p *Proc) {
-	k.cur = p
-	p.state = stateRunning
-	p.wakeups++
-	p.resume <- resumeMsg{}
-	<-k.yield
+// home returns the baton to the goroutine that entered the simulation.
+func (k *Kernel) home() {
 	k.cur = nil
+	k.done <- struct{}{}
 }
 
-// Close terminates every live process, unwinding its goroutine. The kernel
-// must not be used afterwards. It is safe to call Close multiple times.
+// Close terminates every live process and every pooled worker goroutine,
+// then waits for all of them to exit. The kernel must not be used
+// afterwards. It is safe to call Close multiple times.
 func (k *Kernel) Close() {
 	if k.closed {
 		return
 	}
 	k.closed = true
+	k.closing = true
 	for _, p := range k.procs {
 		if p.state == stateDead {
 			continue
 		}
 		p.resume <- resumeMsg{kill: true}
-		<-k.yield
+		<-k.done // finish acks through the baton channel while closing
 	}
+	for _, w := range k.pool {
+		w.resume <- resumeMsg{kill: true}
+	}
+	k.pool = nil
+	k.wg.Wait()
 	if k.live != 0 {
 		panic(fmt.Sprintf("sim: %d processes survived Close", k.live))
 	}

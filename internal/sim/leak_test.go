@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCloseReapsEveryGoroutine is the goroutine-leak regression test: it
+// parks processes in every reachable state — pending (spawned, never
+// dispatched), scheduled (sleeping), suspended (queue waiters, cond
+// waiters, semaphore waiters, joiners), dead (finished, worker pooled) —
+// then closes the kernel and asserts every worker goroutine exited.
+// Kernel.Close blocks on the internal WaitGroup, so a leaked worker would
+// also hang the test.
+func TestCloseReapsEveryGoroutine(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k)
+	cond := NewCond(k)
+	sem := NewSemaphore(k, 1)
+
+	// Dead + pooled: spawn-churn so finished procs park workers in the pool.
+	for i := 0; i < 8; i++ {
+		k.Spawn(fmt.Sprintf("shortlived%d", i), func(p *Proc) { p.Advance(Microsecond) })
+	}
+	// Scheduled: long sleepers.
+	for i := 0; i < 4; i++ {
+		k.Spawn(fmt.Sprintf("sleeper%d", i), func(p *Proc) { p.Sleep(Second) })
+	}
+	// Suspended on every primitive.
+	k.Spawn("q-waiter", func(p *Proc) { q.Get(p) })
+	k.Spawn("cond-waiter", func(p *Proc) { cond.Wait(p) })
+	k.Spawn("sem-holder", func(p *Proc) { sem.Acquire(p, 1); p.Sleep(Second) })
+	k.Spawn("sem-waiter", func(p *Proc) { sem.Acquire(p, 1) })
+	joinee := k.Spawn("joinee", func(p *Proc) { p.Suspend() })
+	k.Spawn("joiner", func(p *Proc) { p.Join(joinee) })
+
+	k.RunUntil(Time(10 * Millisecond))
+	if k.Goroutines() == 0 {
+		t.Fatal("expected live worker goroutines before Close")
+	}
+
+	// Pending: spawned after the run, never dispatched.
+	k.Spawn("pending", func(p *Proc) { panic("pending proc must never run") })
+
+	k.Close()
+	if got := k.Goroutines(); got != 0 {
+		t.Errorf("worker goroutines after Close = %d, want 0", got)
+	}
+	if got := k.Live(); got != 0 {
+		t.Errorf("live procs after Close = %d, want 0", got)
+	}
+}
+
+// TestWorkerPoolReuse verifies spawn churn reuses parked worker goroutines
+// instead of growing the pool without bound.
+func TestWorkerPoolReuse(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	k.Spawn("driver", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			child := p.Kernel().Spawn("child", func(c *Proc) { c.Advance(Microsecond) })
+			p.Join(child)
+		}
+	})
+	k.Run()
+	// driver + one reused child worker (plus maybe a stray from startup).
+	if got := k.Goroutines(); got > 4 {
+		t.Errorf("worker goroutines after 1000 sequential spawns = %d, want <= 4 (pool reuse)", got)
+	}
+}

@@ -33,6 +33,51 @@ type resumeMsg struct{ kill bool }
 // errKilled unwinds a process goroutine when the kernel is closed.
 var errKilled = errors.New("sim: process killed")
 
+// worker is a pooled goroutine that executes process bodies. A worker is
+// bound to one Proc at a time; when the proc terminates the worker parks on
+// its resume channel and returns to the kernel's free pool, so the next
+// Spawn reuses the goroutine and its channel instead of creating fresh
+// ones. The channel is buffered (capacity 1) so a handoff never blocks the
+// sender — the core of the single-switch dispatch protocol.
+type worker struct {
+	k      *Kernel
+	resume chan resumeMsg
+	p      *Proc // the proc this worker currently embodies; nil when pooled
+	exit   bool  // set by finish (on this worker's goroutine) during Close
+}
+
+func (w *worker) loop() {
+	defer func() {
+		w.k.goroutines.Add(-1)
+		w.k.wg.Done()
+	}()
+	for {
+		msg := <-w.resume
+		if msg.kill {
+			if p := w.p; p != nil && p.state != stateDead {
+				p.finish() // killed before its first dispatch
+			}
+			return
+		}
+		w.run(w.p)
+		if w.exit {
+			return
+		}
+	}
+}
+
+func (w *worker) run(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != errKilled { //nolint:errorlint // sentinel identity check
+				panic(r)
+			}
+		}
+		p.finish()
+	}()
+	p.fn(p)
+}
+
 // Proc is a simulated thread of control. Its methods must only be called
 // from its own goroutine while it is the running process, except where noted.
 type Proc struct {
@@ -41,7 +86,8 @@ type Proc struct {
 	name   string
 	fn     func(*Proc)
 	state  procState
-	resume chan resumeMsg
+	w      *worker
+	resume chan resumeMsg // w.resume, cached to keep the hot path short
 	token  uint64
 
 	wakeups   int64 // times this process was dispatched
@@ -75,24 +121,9 @@ func (p *Proc) Wakeups() int64 { return p.wakeups }
 // count: it models computation, not blocking.
 func (p *Proc) VoluntarySwitches() int64 { return p.volSwitch }
 
-func (p *Proc) run() {
-	msg := <-p.resume
-	if msg.kill {
-		p.finish()
-		return
-	}
-	p.state = stateRunning
-	defer func() {
-		if r := recover(); r != nil {
-			if r != errKilled { //nolint:errorlint // sentinel identity check
-				panic(r)
-			}
-		}
-		p.finish()
-	}()
-	p.fn(p)
-}
-
+// finish retires a terminated process: waiters are woken, the worker
+// returns to the pool, and the baton moves on. During Close the baton goes
+// home to acknowledge the kill instead.
 func (p *Proc) finish() {
 	p.state = stateDead
 	p.token++
@@ -104,11 +135,21 @@ func (p *Proc) finish() {
 		}
 	}
 	p.doneWaiters = nil
-	p.k.yield <- struct{}{}
+	w := p.w
+	p.w = nil
+	w.p = nil
+	if p.k.closing {
+		w.exit = true
+		p.k.done <- struct{}{}
+		return
+	}
+	p.k.pool = append(p.k.pool, w)
+	p.k.next()
 }
 
-// block parks the process in the given state and hands control back to the
-// kernel. It returns when the kernel next dispatches this process.
+// block parks the process in the given state and hands control directly to
+// the next runnable process (or back to the Run caller). It returns when
+// this process is next dispatched.
 func (p *Proc) block(next procState, voluntary bool) {
 	if p.k.cur != p {
 		panic("sim: blocking call from process that is not running: " + p.name)
@@ -117,7 +158,7 @@ func (p *Proc) block(next procState, voluntary bool) {
 	if voluntary {
 		p.volSwitch++
 	}
-	p.k.yield <- struct{}{}
+	p.k.next()
 	msg := <-p.resume
 	p.token++ // invalidate any other outstanding wake-ups
 	if msg.kill {

@@ -1,0 +1,32 @@
+package sim
+
+import "container/heap"
+
+// refQueue is the seed's container/heap event queue, kept verbatim as the
+// ordering oracle for the optimized eventQueue. A kernel built with
+// NewReferenceKernel runs every event through this queue; the golden
+// dispatch-trace tests prove the two queues realize byte-identical
+// (time, seq, proc) dispatch sequences on the paper's workloads.
+//
+// It is deliberately slow — Push(x any) boxes and heap-allocates every
+// event — and exists only for differential testing. Do not use it outside
+// tests.
+type refQueue struct{ h refHeap }
+
+type refHeap []event
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return evLess(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (q *refQueue) len() int     { return len(q.h) }
+func (q *refQueue) push(e event) { heap.Push(&q.h, e) }
+func (q *refQueue) pop() event   { return heap.Pop(&q.h).(event) }
+func (q *refQueue) peek() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return q.h[0], true
+}

@@ -115,6 +115,16 @@ func (c *Cond) Signal() {
 	}
 }
 
+// SignalN wakes up to n waiting processes in FIFO order. It is the
+// fan-out-limited Broadcast for wake-ups where at most n waiters can make
+// progress (e.g. n queued commands can occupy at most n service workers);
+// the rest stay parked instead of paying a futile dispatch each.
+func (c *Cond) SignalN(n int) {
+	for ; n > 0 && len(c.waiters) > 0; n-- {
+		c.Signal()
+	}
+}
+
 // Broadcast wakes every waiting process.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
@@ -132,24 +142,33 @@ func (c *Cond) Waiters() int { return len(c.waiters) }
 // Semaphore is a counting semaphore, useful for modelling slot-limited
 // resources such as command-queue entries or a DMA bus.
 type Semaphore struct {
-	k     *Kernel
-	avail int
-	cap   int
-	cond  *Cond
+	k       *Kernel
+	avail   int
+	cap     int
+	waiters []semWaiter
+}
+
+type semWaiter struct {
+	p *Proc
+	n int
 }
 
 // NewSemaphore returns a semaphore with n free slots.
 func NewSemaphore(k *Kernel, n int) *Semaphore {
-	return &Semaphore{k: k, avail: n, cap: n, cond: NewCond(k)}
+	return &Semaphore{k: k, avail: n, cap: n}
 }
 
-// Acquire takes n slots, blocking until they are available.
+// Acquire takes n slots, blocking until they are available. Mesa
+// semantics: a woken waiter re-contends, so a process that never blocked
+// may barge in front of parked waiters (as with the former
+// Broadcast-based implementation).
 func (s *Semaphore) Acquire(p *Proc, n int) {
 	if n > s.cap {
 		panic("sim: Acquire exceeds semaphore capacity")
 	}
 	for s.avail < n {
-		s.cond.Wait(p)
+		s.waiters = append(s.waiters, semWaiter{p: p, n: n})
+		p.Suspend()
 	}
 	s.avail -= n
 }
@@ -163,13 +182,36 @@ func (s *Semaphore) TryAcquire(n int) bool {
 	return true
 }
 
-// Release returns n slots and wakes all waiters to re-contend.
+// Release returns n slots and wakes, in FIFO order, every waiter the freed
+// slots can satisfy — skipping (but keeping parked) waiters whose request
+// exceeds what remains, so a large waiter at the head never starves a
+// satisfiable small one behind it. Waking only provisionable waiters
+// (instead of broadcasting) spares the rest of a contended pool a futile
+// dispatch each; for the single-slot resources this simulator models, the
+// allocation order is identical to a broadcast's FIFO re-contention.
 func (s *Semaphore) Release(n int) {
 	s.avail += n
 	if s.avail > s.cap {
 		panic("sim: Release beyond semaphore capacity")
 	}
-	s.cond.Broadcast()
+	virt := s.avail
+	kept := s.waiters[:0]
+	for i, w := range s.waiters {
+		if virt == 0 {
+			kept = append(kept, s.waiters[i:]...)
+			break
+		}
+		if w.p.state != stateSuspended {
+			continue // stale entry: the waiter re-queued or was reaped
+		}
+		if w.n > virt {
+			kept = append(kept, w)
+			continue
+		}
+		virt -= w.n
+		s.k.Resume(w.p)
+	}
+	s.waiters = kept
 }
 
 // Avail returns the number of free slots.

@@ -276,3 +276,33 @@ func TestTimeFormatting(t *testing.T) {
 		t.Error("Scale wrong")
 	}
 }
+
+func TestSemaphoreReleaseSkipsOversizedWaiter(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	sem := NewSemaphore(k, 2)
+	var got []string
+	k.Spawn("holder", func(p *Proc) {
+		sem.Acquire(p, 2)
+		p.Sleep(10 * Microsecond)
+		sem.Release(1) // one slot free: big(2) cannot run, small(1) can
+		p.Sleep(10 * Microsecond)
+		sem.Release(1)
+	})
+	k.Spawn("big", func(p *Proc) {
+		p.Sleep(Microsecond)
+		sem.Acquire(p, 2)
+		got = append(got, "big")
+		sem.Release(2)
+	})
+	k.Spawn("small", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		sem.Acquire(p, 1)
+		got = append(got, "small")
+		sem.Release(1)
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != "small" || got[1] != "big" {
+		t.Fatalf("acquisition order = %v, want [small big] (single free slot must not starve behind the oversized head waiter)", got)
+	}
+}

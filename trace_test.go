@@ -1,0 +1,100 @@
+// Golden dispatch-trace tests: every optimization in the simulation kernel
+// must leave the dispatch order — and therefore every simulated result —
+// byte-identical to the seed's container/heap event queue. Each case runs a
+// real workload twice on the optimized kernel (run-to-run determinism) and
+// once on sim.NewReferenceKernel (the container/heap oracle), comparing the
+// (time, seq, proc) dispatch sequences via sim.Trace.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kvwal"
+	"repro/internal/oltp"
+	"repro/internal/sim"
+	"repro/internal/sqlmini"
+	"repro/internal/workload"
+)
+
+// goldenCase drives one workload on a kernel built by newK and returns its
+// dispatch trace.
+type goldenCase struct {
+	name string
+	run  func(k *sim.Kernel)
+}
+
+func goldenCases() []goldenCase {
+	short := 8 * sim.Millisecond
+	return []goldenCase{
+		{"fig1/buffered-EXT4-OD", func(k *sim.Kernel) {
+			s := core.NewStack(k, core.EXT4OD(device.Fig1Device(0)))
+			cfg := workload.DefaultRandWrite(workload.PolicyP)
+			cfg.Duration, cfg.Warmup, cfg.FilePages = short, short/4, 256
+			workload.RandWrite(k, s, cfg)
+		}},
+		{"fig9/barrier-BFS-OD", func(k *sim.Kernel) {
+			s := core.NewStack(k, core.BFSOD(device.UFS()))
+			cfg := workload.DefaultRandWrite(workload.PolicyB)
+			cfg.Duration, cfg.Warmup, cfg.FilePages = short, short/4, 256
+			workload.RandWrite(k, s, cfg)
+		}},
+		{"fig14/sqlite-BFS-DR", func(k *sim.Kernel) {
+			s := core.NewStack(k, core.BFSDR(device.UFS()))
+			sqlmini.Bench(k, s, sqlmini.DefaultConfig(sqlmini.Persist, sqlmini.Durable), short)
+		}},
+		{"fig15/oltp-EXT4-DR", func(k *sim.Kernel) {
+			s := core.NewStack(k, core.EXT4DR(device.PlainSSD()))
+			cfg := oltp.DefaultConfig()
+			cfg.Clients = 2
+			oltp.Bench(k, s, cfg, short)
+		}},
+		{"blkmq/EXT4-MQ-varmail", func(k *sim.Kernel) {
+			s := core.NewStack(k, core.EXT4MQ(device.NVMeSSD()))
+			cfg := workload.DefaultVarmail()
+			cfg.Threads, cfg.Files = 4, 16
+			cfg.Duration, cfg.Warmup = short, short/4
+			workload.Varmail(k, s, cfg)
+		}},
+		{"kvwal/BFS-MQ-groupcommit", func(k *sim.Kernel) {
+			s := core.NewStack(k, core.BFSMQ(device.NVMeSSD()))
+			kvwal.Bench(k, s, kvwal.DefaultBenchConfig(4), short)
+		}},
+	}
+}
+
+func traceOf(newK func() *sim.Kernel, c goldenCase) *sim.Trace {
+	k := newK()
+	defer k.Close()
+	tr := k.StartTrace(false)
+	c.run(k)
+	return tr
+}
+
+// TestGoldenDispatchTraces pins (a) run-to-run determinism of the optimized
+// kernel and (b) byte-identical dispatch order against the reference
+// container/heap kernel, across the paper's workload families: buffered and
+// barrier random writes (Figs. 1/9), SQLite (Fig. 14), OLTP (Fig. 15), the
+// multi-queue block layer, and the kvwal group-commit store.
+func TestGoldenDispatchTraces(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			a := traceOf(sim.NewKernel, c)
+			b := traceOf(sim.NewKernel, c)
+			if a.Len() != b.Len() || a.Hash() != b.Hash() {
+				t.Fatalf("run-to-run nondeterminism: (n=%d h=%x) vs (n=%d h=%x)",
+					a.Len(), a.Hash(), b.Len(), b.Hash())
+			}
+			ref := traceOf(sim.NewReferenceKernel, c)
+			if a.Len() != ref.Len() || a.Hash() != ref.Hash() {
+				t.Fatalf("optimized kernel diverges from container/heap reference: optimized (n=%d h=%x), reference (n=%d h=%x)",
+					a.Len(), a.Hash(), ref.Len(), ref.Hash())
+			}
+			if a.Len() == 0 {
+				t.Fatal("empty trace: workload did not run")
+			}
+		})
+	}
+}
