@@ -391,6 +391,54 @@ func BenchmarkSimKernelMixedHorizons(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkSimHandlerEvent measures run-to-completion dispatch: a handler
+// rescheduling itself via WakeIn, one event per op with zero goroutine
+// switches and zero allocations — the fast path the device/NAND-side
+// components run on.
+func BenchmarkSimHandlerEvent(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	n := 0
+	k.SpawnHandler("ticker", func(h *sim.Proc) {
+		n++
+		if n >= b.N {
+			k.Stop()
+			return
+		}
+		h.WakeIn(sim.Microsecond)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimHandlerPingPong measures two handlers waking each other
+// through a Cond — the handler analogue of BenchmarkSimHandoff, with the
+// channel handoffs and goroutine switches gone.
+func BenchmarkSimHandlerPingPong(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	ping := sim.NewCond(k)
+	pong := sim.NewCond(k)
+	n := 0
+	k.SpawnHandler("pong", func(h *sim.Proc) {
+		pong.Signal()
+		ping.Park(h)
+	})
+	k.SpawnHandler("ping", func(h *sim.Proc) {
+		n++
+		if n >= b.N {
+			k.Stop()
+			return
+		}
+		ping.Signal()
+		pong.Park(h)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
 // BenchmarkSimHandoff measures the single-handoff context switch: two procs
 // ping-ponging through Suspend/Resume, two dispatches per op.
 func BenchmarkSimHandoff(b *testing.B) {

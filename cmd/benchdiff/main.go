@@ -1,0 +1,102 @@
+// Command benchdiff compares two `go test -bench` output files and fails
+// when a benchmark's metric regressed beyond a threshold. CI uses it to
+// gate the simulator's wall-clock trajectory: the previous run's artifact
+// is the baseline, and a >15% regression in BenchmarkKV ns/op fails the
+// job, while improvements and missing baselines only report.
+//
+// Usage:
+//
+//	benchdiff -bench BenchmarkKV -metric ns/op -threshold 15 old.txt new.txt
+//
+// Benchmarks present in only one file are reported and ignored by the
+// gate. A missing or empty baseline file reports and exits 0, so the first
+// run of a new pipeline cannot fail.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func parse(path, prefix, metric string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], prefix) {
+			continue
+		}
+		// name iterations (value unit)...
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != metric {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			// With -count=N, keep the best (minimum) run: wall-clock noise
+			// on shared CI runners only ever inflates the number.
+			if prev, ok := out[fields[0]]; !ok || v < prev {
+				out[fields[0]] = v
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkKV", "benchmark name prefix to compare")
+	metric := flag.String("metric", "ns/op", "metric unit to compare")
+	threshold := flag.Float64("threshold", 15, "max regression percent before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parse(flag.Arg(0), *bench, *metric)
+	if err != nil || len(old) == 0 {
+		fmt.Printf("benchdiff: no baseline %s %s in %s (%v) — report-only run\n",
+			*bench, *metric, flag.Arg(0), err)
+		return
+	}
+	cur, err := parse(flag.Arg(1), *bench, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading %s: %v\n", flag.Arg(1), err)
+		os.Exit(2)
+	}
+	failed := false
+	for name, ov := range old {
+		nv, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-45s baseline-only (%.0f %s)\n", name, ov, *metric)
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		mark := "ok"
+		if delta > *threshold {
+			mark = fmt.Sprintf("REGRESSION (> %.0f%%)", *threshold)
+			failed = true
+		}
+		fmt.Printf("%-45s %14.0f -> %14.0f %s  %+7.1f%%  %s\n",
+			name, ov, nv, *metric, delta, mark)
+	}
+	for name, nv := range cur {
+		if _, ok := old[name]; !ok {
+			fmt.Printf("%-45s new benchmark (%.0f %s)\n", name, nv, *metric)
+		}
+	}
+	if failed {
+		fmt.Printf("benchdiff: %s %s regressed beyond %.0f%%\n", *bench, *metric, *threshold)
+		os.Exit(1)
+	}
+}

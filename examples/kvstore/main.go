@@ -44,7 +44,7 @@ func main() {
 		// are in flight.
 		for c := 0; c < 3; c++ {
 			c := c
-			k.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+			k.SpawnIdx("client", c, func(p *sim.Proc) {
 				for n := 0; ; n++ {
 					st.Apply(p, []kvwal.Op{
 						{Kind: kvwal.Put, Key: fmt.Sprintf("feed/%d-%04d", c, n)},

@@ -20,8 +20,6 @@
 package blkmq
 
 import (
-	"fmt"
-
 	"repro/internal/block"
 	"repro/internal/device"
 	"repro/internal/sim"
@@ -103,6 +101,8 @@ type MQ struct {
 
 	hw      []*hwQueue
 	streams map[uint64]*stream
+	cmds    *block.CmdPool
+	flushes block.ReqPool
 
 	trace  []block.DispatchRecord
 	stats  Stats
@@ -130,10 +130,11 @@ func New(k *sim.Kernel, dev *device.Device, cfg Config) *MQ {
 		}
 	}
 	m := &MQ{k: k, dev: dev, cfg: cfg, streams: make(map[uint64]*stream)}
+	m.cmds = block.NewCmdPool(func(sim.Time, *block.Request) { m.stats.Completed++ })
 	for i := 0; i < cfg.HWQueues; i++ {
 		h := &hwQueue{id: i, kick: sim.NewCond(k)}
 		m.hw = append(m.hw, h)
-		k.Spawn(fmt.Sprintf("blkmq/hwq%d", i), m.dispatcher(h))
+		k.SpawnIdx("blkmq/hwq", i, m.dispatcher(h))
 	}
 	return m
 }
@@ -206,20 +207,43 @@ func (m *MQ) stream(id uint64) *stream {
 // submission order once it reopens; only that stream's submitters ever
 // block on its congestion limit.
 func (m *MQ) Submit(p *sim.Proc, r *block.Request) {
-	if m.cfg.SpreadOrderless && r.Stream == 0 && !r.Ordered() &&
-		r.Op == block.OpWrite && r.Flags.Has(block.FlagBackground) &&
-		r.Flags&(block.FlagFlush|block.FlagFUA) == 0 {
-		// Background writeback carries no ordering promise and nobody waits
-		// on it: scatter it over the data streams so it bypasses stream 0's
-		// barriers and congestion limit. Keyed by LPA, not submitter, so a
-		// single pdflush daemon still spreads across every data stream.
-		r.Stream = 1 + r.LPA%uint64(m.cfg.DataStreams)
-		m.stats.Spread++
-	}
+	m.spread(r)
 	st := m.stream(r.Stream)
 	for st.queued() >= m.cfg.QueueLimit {
 		st.congest.Wait(p)
 	}
+	m.admit(st, r)
+}
+
+// SubmitOrPark is the handler-path Submit: one congestion Mesa iteration on
+// the request's stream. Spreading is idempotent, so a parked handler
+// retrying with the same request keeps its assigned data stream.
+func (m *MQ) SubmitOrPark(h *sim.Proc, r *block.Request) bool {
+	m.spread(r)
+	st := m.stream(r.Stream)
+	if st.queued() >= m.cfg.QueueLimit {
+		st.congest.Park(h)
+		return false
+	}
+	m.admit(st, r)
+	return true
+}
+
+// spread scatters background writeback arriving on stream 0 over the data
+// streams. Background writeback carries no ordering promise and nobody
+// waits on it, so it bypasses stream 0's barriers and congestion limit.
+// Keyed by LPA, not submitter, so a single pdflush daemon still spreads
+// across every data stream.
+func (m *MQ) spread(r *block.Request) {
+	if m.cfg.SpreadOrderless && r.Stream == 0 && !r.Ordered() &&
+		r.Op == block.OpWrite && r.Flags.Has(block.FlagBackground) &&
+		r.Flags&(block.FlagFlush|block.FlagFUA) == 0 {
+		r.Stream = 1 + r.LPA%uint64(m.cfg.DataStreams)
+		m.stats.Spread++
+	}
+}
+
+func (m *MQ) admit(st *stream, r *block.Request) {
 	r.Bind(m.k, m.k.Now())
 	m.stats.Submitted++
 	if len(st.staged) > 0 || !st.sched.Add(r) {
@@ -240,9 +264,13 @@ func (m *MQ) SubmitAndWait(p *sim.Proc, r *block.Request) {
 
 // Flush issues a standalone cache-flush request on stream 0 and waits for
 // it. The device flushes its whole cache regardless of stream, so pages a
-// caller transferred (and waited for) on any stream are covered.
+// caller transferred (and waited for) on any stream are covered. The
+// request is pooled: after SubmitAndWait returns nothing else can hold it.
 func (m *MQ) Flush(p *sim.Proc) {
-	m.SubmitAndWait(p, &block.Request{Op: block.OpFlush})
+	r := m.flushes.Get()
+	r.Op = block.OpFlush
+	m.SubmitAndWait(p, r)
+	m.flushes.Put(r)
 }
 
 // feedStaged moves a stream's staged requests into its scheduler in
@@ -289,7 +317,7 @@ func (m *MQ) dispatcher(h *hwQueue) func(p *sim.Proc) {
 					Epoch: r.Epoch(), Stream: r.Stream, HWQueue: h.id,
 				})
 			}
-			cmd := r.ToCommand(func(sim.Time, *block.Request) { m.stats.Completed++ })
+			cmd := m.cmds.Get(r)
 			var trailer *device.Command
 			if m.cfg.BarrierAsCommand && cmd.Kind == device.CmdWrite && cmd.Barrier {
 				// §3.2 ablation: strip the flag; an explicit barrier command

@@ -45,6 +45,12 @@ type Submitter interface {
 	SubmitAndWait(p *sim.Proc, r *Request)
 	// Flush issues a standalone cache flush and waits for it.
 	Flush(p *sim.Proc)
+	// SubmitOrPark is the handler analogue of Submit — one congestion Mesa
+	// iteration: it either admits r (true) or parks the run-to-completion
+	// handler h on the congestion condition exactly where Submit would have
+	// blocked (false; re-invoke with the same request on the next
+	// activation).
+	SubmitOrPark(h *sim.Proc, r *Request) bool
 }
 
 // LayerStats are cumulative block-layer statistics.
@@ -70,6 +76,9 @@ type Layer struct {
 	kick    *sim.Cond
 	congest *sim.Cond
 
+	cmds    *CmdPool
+	flushes ReqPool
+
 	trace []DispatchRecord
 	stats LayerStats
 }
@@ -82,6 +91,7 @@ func NewLayer(k *sim.Kernel, dev *device.Device, sched Scheduler, cfg LayerConfi
 	}
 	l := &Layer{k: k, dev: dev, sched: sched, cfg: cfg,
 		kick: sim.NewCond(k), congest: sim.NewCond(k)}
+	l.cmds = NewCmdPool(func(sim.Time, *Request) { l.stats.Completed++ })
 	k.Spawn("block/dispatch", l.dispatcher)
 	return l
 }
@@ -110,6 +120,20 @@ func (l *Layer) Submit(p *sim.Proc, r *Request) {
 	for l.queued() >= l.cfg.QueueLimit {
 		l.congest.Wait(p)
 	}
+	l.admit(r)
+}
+
+// SubmitOrPark is the handler-path Submit: one congestion Mesa iteration.
+func (l *Layer) SubmitOrPark(h *sim.Proc, r *Request) bool {
+	if l.queued() >= l.cfg.QueueLimit {
+		l.congest.Park(h)
+		return false
+	}
+	l.admit(r)
+	return true
+}
+
+func (l *Layer) admit(r *Request) {
 	r.Bind(l.k, l.k.Now())
 	l.stats.Submitted++
 	if len(l.staged) > 0 || !l.sched.Add(r) {
@@ -128,9 +152,13 @@ func (l *Layer) SubmitAndWait(p *sim.Proc, r *Request) {
 	r.Wait(p)
 }
 
-// Flush issues a standalone cache-flush request and waits for it.
+// Flush issues a standalone cache-flush request and waits for it. The
+// request is pooled: after SubmitAndWait returns nothing else can hold it.
 func (l *Layer) Flush(p *sim.Proc) {
-	l.SubmitAndWait(p, &Request{Op: OpFlush})
+	r := l.flushes.Get()
+	r.Op = OpFlush
+	l.SubmitAndWait(p, r)
+	l.flushes.Put(r)
 }
 
 func (l *Layer) feedStaged() {
@@ -160,7 +188,7 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 				Stream: r.Stream,
 			})
 		}
-		cmd := l.toCommand(r)
+		cmd := l.cmds.Get(r)
 		var trailer *device.Command
 		if l.cfg.BarrierAsCommand && cmd.Kind == device.CmdWrite && cmd.Barrier {
 			// Strip the flag; an explicit barrier command follows the write,
@@ -191,17 +219,14 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 	}
 }
 
-func (l *Layer) toCommand(r *Request) *device.Command {
-	return r.ToCommand(func(sim.Time, *Request) { l.stats.Completed++ })
-}
-
 // ToCommand converts the request into its device command under
 // order-preserving dispatch (§3.4): barrier writes and flushes carry ordered
 // priority, FUA/PreFlush map to their command fields, and the command
 // inherits the request's stream so device-level ordering scopes correctly.
 // done, if non-nil, fires at completion after the request's own bookkeeping
-// (waiter wake-ups, OnComplete). Both the single-queue Layer and the
-// multi-queue blkmq front-end dispatch through it.
+// (waiter wake-ups, OnComplete). The dispatch daemons use the allocation-free
+// CmdPool.Get, which mirrors this mapping; ToCommand remains the one-shot
+// form for callers outside the hot path.
 func (r *Request) ToCommand(done func(at sim.Time, r *Request)) *device.Command {
 	c := &device.Command{
 		LPA:    r.LPA,

@@ -1,0 +1,109 @@
+package block
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Kernel-owned free lists for the per-command allocations of the dispatch
+// hot path. The simulation kernel runs exactly one process at a time, so
+// the pools need no locking and no sync.Pool machinery: a plain LIFO slice
+// is both faster and deterministic.
+
+// CmdPool recycles device commands together with their completion plumbing.
+// Each pooled entry binds its Done closure once, at allocation, so a
+// steady-state dispatch allocates neither the command nor a closure.
+type CmdPool struct {
+	free   []*cmdCtx
+	onDone func(at sim.Time, r *Request)
+}
+
+type cmdCtx struct {
+	pool *CmdPool
+	r    *Request
+	cmd  device.Command
+}
+
+// NewCmdPool returns a pool whose commands invoke onDone (statistics,
+// trace hooks) after the owning request completes.
+func NewCmdPool(onDone func(at sim.Time, r *Request)) *CmdPool {
+	return &CmdPool{onDone: onDone}
+}
+
+// Get builds the device command for r under order-preserving dispatch,
+// exactly as Request.ToCommand does, but from the free list. The command
+// returns to the pool when it completes; commands dropped by a device crash
+// simply fall out of the pool.
+func (pl *CmdPool) Get(r *Request) *device.Command {
+	var c *cmdCtx
+	if n := len(pl.free); n > 0 {
+		c = pl.free[n-1]
+		pl.free = pl.free[:n-1]
+	} else {
+		c = &cmdCtx{pool: pl}
+		c.cmd.Done = c.done // one bound closure per pooled ctx, ever
+	}
+	c.r = r
+	cmd := &c.cmd
+	cmd.LPA, cmd.Data, cmd.Stream = r.LPA, r.Data, r.Stream
+	cmd.Kind, cmd.Prio = device.CmdWrite, device.PrioSimple
+	cmd.FUA, cmd.PreFlush, cmd.Barrier = false, false, false
+	switch r.Op {
+	case OpWrite:
+		cmd.FUA = r.Flags.Has(FlagFUA)
+		cmd.PreFlush = r.Flags.Has(FlagFlush)
+		cmd.Barrier = r.Flags.Has(FlagBarrier)
+		if cmd.Barrier {
+			// Order-preserving dispatch: the barrier write carries ordered
+			// priority (§3.4).
+			cmd.Prio = device.PrioOrdered
+		}
+	case OpRead:
+		cmd.Kind = device.CmdRead
+	case OpFlush:
+		cmd.Kind = device.CmdFlush
+		// Ordered, not head-of-queue: the flush must drain everything
+		// received before it into the cache first, then flush.
+		cmd.Prio = device.PrioOrdered
+	}
+	return cmd
+}
+
+func (c *cmdCtx) done(at sim.Time, cc *device.Command) {
+	r := c.r
+	if r.Op == OpRead {
+		r.Data = cc.Data
+	}
+	r.complete(at)
+	if c.pool.onDone != nil {
+		c.pool.onDone(at, r)
+	}
+	c.r = nil
+	c.cmd.Data = nil
+	c.pool.free = append(c.pool.free, c)
+}
+
+// ReqPool recycles block requests whose ownership is unambiguous: journal
+// writes released after their commit wait, standalone flushes released
+// after SubmitAndWait. Requests that outlive their completion in caller
+// state (ordered-data dependencies, writeback plans) are never pooled.
+type ReqPool struct {
+	free []*Request
+}
+
+// Get returns a zeroed request.
+func (pl *ReqPool) Get() *Request {
+	if n := len(pl.free); n > 0 {
+		r := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// Put recycles r. The caller must guarantee no other component still holds
+// the pointer.
+func (pl *ReqPool) Put(r *Request) {
+	*r = Request{waiters: r.waiters[:0]}
+	pl.free = append(pl.free, r)
+}

@@ -119,6 +119,18 @@ func (r *Request) Wait(p *sim.Proc) {
 	}
 }
 
+// WaitOrPark is the handler analogue of Wait — one Mesa iteration: true if
+// the request already completed, otherwise the run-to-completion handler h
+// joins the waiter list (woken by complete) and is left parked.
+func (r *Request) WaitOrPark(h *sim.Proc) bool {
+	if r.completed {
+		return true
+	}
+	r.waiters = append(r.waiters, h)
+	h.Park()
+	return false
+}
+
 // complete marks the request done and wakes waiters. Called by the
 // dispatcher from device completion context.
 func (r *Request) complete(at sim.Time) {

@@ -36,7 +36,7 @@ func KVTrial(prof core.Profile, clients int, crashAt sim.Time) Report {
 	})
 	for c := 0; c < clients; c++ {
 		c := c
-		k.Spawn(fmt.Sprintf("kv/client%d", c), func(p *sim.Proc) {
+		k.SpawnIdx("kv/client", c, func(p *sim.Proc) {
 			rng := rand.New(rand.NewSource(int64(41 + c)))
 			for !ready {
 				p.Sleep(sim.Millisecond)

@@ -1,7 +1,6 @@
 package device
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/ftl"
@@ -74,6 +73,12 @@ type Device struct {
 	dead        bool
 	plpSnapshot []*cacheEntry
 
+	// Handler-mode state machines (see handler.go).
+	wb   wbSM
+	reap reapSM
+
+	eligScratch []int // pick()'s eligible-index scratch, reused across calls
+
 	qdSeries *metrics.Series
 	stats    Stats
 }
@@ -110,9 +115,22 @@ func newDevice(k *sim.Kernel, cfg Config, arr *nand.Array) *Device {
 	}
 }
 
+// start spawns the device's service processes in the kernel's process
+// model: run-to-completion handlers on callback kernels, the blocking
+// goroutine loops (the trace oracle) on the reference kernel.
 func (d *Device) start() {
+	prefix := d.cfg.Name + "/worker"
+	if d.k.CallbackMode() {
+		for i := 0; i < d.cfg.QueueDepth; i++ {
+			w := &workerSM{}
+			d.k.SpawnHandlerIdx(prefix, i, func(h *sim.Proc) { d.workerStep(h, w) })
+		}
+		d.k.SpawnHandler(d.cfg.Name+"/writeback", d.writebackStep)
+		d.k.SpawnHandler(d.cfg.Name+"/reaper", d.reaperStep)
+		return
+	}
 	for i := 0; i < d.cfg.QueueDepth; i++ {
-		d.k.Spawn(fmt.Sprintf("%s/worker%d", d.cfg.Name, i), d.worker)
+		d.k.SpawnIdx(prefix, i, d.worker)
 	}
 	d.k.Spawn(d.cfg.Name+"/writeback", d.writebackLoop)
 	d.k.Spawn(d.cfg.Name+"/reaper", d.reaperLoop)
@@ -161,6 +179,7 @@ func (d *Device) Submit(c *Command) bool {
 	d.cmdSeq++
 	c.seq = d.cmdSeq
 	c.arrived = d.k.Now()
+	c.complete = false // commands are pooled; reset per admission
 	so := d.streamOrderFor(c.Stream)
 	so.all = append(so.all, c.seq) // cmdSeq is increasing: append keeps order
 	if c.Prio != PrioSimple {
@@ -253,16 +272,17 @@ func (d *Device) eligible(c *Command) bool {
 // pick removes one eligible command from the queue, emulating the
 // controller's freedom to choose among simple commands.
 func (d *Device) pick() *Command {
-	var elig []int
+	elig := d.eligScratch[:0]
 	for i, c := range d.queued {
 		if d.eligible(c) {
 			if c.Prio == PrioHeadOfQueue {
-				elig = []int{i}
+				elig = append(elig[:0], i)
 				break
 			}
 			elig = append(elig, i)
 		}
 	}
+	d.eligScratch = elig // keep the grown backing array for the next pick
 	if len(elig) == 0 {
 		return nil
 	}

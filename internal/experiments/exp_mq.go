@@ -165,7 +165,7 @@ func mqFSPoint(prof core.Profile, dur sim.Duration) float64 {
 	const bulkThreads = 4
 	for b := 0; b < bulkThreads; b++ {
 		b := b
-		k.Spawn(fmt.Sprintf("mq/bulk%d", b), func(p *sim.Proc) {
+		k.SpawnIdx("mq/bulk", b, func(p *sim.Proc) {
 			f, err := s.FS.Create(p, s.FS.Root(), fmt.Sprintf("bulk%d.dat", b))
 			if err != nil {
 				panic(err)

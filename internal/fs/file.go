@@ -107,16 +107,7 @@ type writebackPlan struct {
 // submitted; the caller decides whether to wait.
 func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast bool) writebackPlan {
 	var plan writebackPlan
-	// Every dirty page is on the inode's dirty list; writeback cleans them
-	// all, so the list resets wholesale below.
-	dirty := i.dirtyPg
-	// Deterministic order: by page index.
-	for a := 1; a < len(dirty); a++ {
-		for b := a; b > 0 && dirty[b-1].idx > dirty[b].idx; b-- {
-			dirty[b-1], dirty[b] = dirty[b], dirty[b-1]
-		}
-	}
-	i.dirtyPg = nil
+	dirty := i.takeDirty()
 	for _, pg := range dirty {
 		journalIt := f.opts.Mode == DataJournal ||
 			(f.opts.SelectiveDataJournal && pg.everSynced)
@@ -135,16 +126,7 @@ func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast boo
 			f.stats.DataJournaled++
 			continue
 		}
-		r := &block.Request{
-			Op: block.OpWrite, LPA: i.blocks[pg.idx],
-			Data:  PageData{Ino: i.ino, Idx: pg.idx, Ver: pg.ver},
-			Flags: flags,
-			PID:   p.ID(),
-		}
-		pg.dirty = false
-		pg.everSynced = true
-		plan.reqs = append(plan.reqs, r)
-		f.stats.PagesWritten++
+		plan.reqs = append(plan.reqs, f.dataRequest(i, pg, flags, p.ID()))
 	}
 	if barrierLast && len(plan.reqs) > 0 {
 		plan.reqs[len(plan.reqs)-1].Flags |= block.FlagBarrier | block.FlagOrdered
@@ -159,6 +141,37 @@ func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast boo
 		f.layer.Submit(p, r)
 	}
 	return plan
+}
+
+// takeDirty removes and returns the inode's dirty pages in page-index
+// order. Every dirty page is on the inode's dirty list; writeback cleans
+// them all, so the list resets wholesale.
+func (i *Inode) takeDirty() []*page {
+	dirty := i.dirtyPg
+	// Deterministic order: by page index.
+	for a := 1; a < len(dirty); a++ {
+		for b := a; b > 0 && dirty[b-1].idx > dirty[b].idx; b-- {
+			dirty[b-1], dirty[b] = dirty[b], dirty[b-1]
+		}
+	}
+	i.dirtyPg = nil
+	return dirty
+}
+
+// dataRequest builds the in-place write request for one dirty page,
+// marking the page clean. Shared by the blocking writeback and the pdflush
+// handler so the two stay statement-identical.
+func (f *FS) dataRequest(i *Inode, pg *page, flags block.Flags, pid int) *block.Request {
+	r := &block.Request{
+		Op: block.OpWrite, LPA: i.blocks[pg.idx],
+		Data:  PageData{Ino: i.ino, Idx: pg.idx, Ver: pg.ver},
+		Flags: flags,
+		PID:   pid,
+	}
+	pg.dirty = false
+	pg.everSynced = true
+	f.stats.PagesWritten++
+	return r
 }
 
 // trackInflight records a submitted writeback request on the inode until it

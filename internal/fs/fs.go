@@ -206,6 +206,7 @@ type FS struct {
 	inodes      map[Ino]*Inode
 	inodeList   []*Inode // ascending ino; deterministic whole-FS iteration
 	pdflushCond *sim.Cond
+	pd          pdflushSM // handler-mode pdflush state (pdflush.go)
 	byHome      map[uint64]*Inode
 	root        *Inode
 	nextIno     Ino
@@ -243,7 +244,15 @@ func New(k *sim.Kernel, layer block.Submitter, opts Options) *FS {
 	f.root = f.newInode(RootIno, true)
 	if opts.PdflushInterval > 0 {
 		f.pdflushCond = sim.NewCond(k)
-		k.Spawn("fs/pdflush", f.pdflush)
+		// Data-journaling modes route pdflush pages through the journal,
+		// whose conflict rules block arbitrarily deep — those mounts keep
+		// the blocking daemon even on callback kernels.
+		journals := opts.Mode == DataJournal || opts.SelectiveDataJournal
+		if k.CallbackMode() && !journals {
+			k.SpawnHandler("fs/pdflush", f.pdflushStep)
+		} else {
+			k.Spawn("fs/pdflush", f.pdflush)
+		}
 	}
 	return f
 }

@@ -86,6 +86,10 @@ type FTL struct {
 	gcProc      *sim.Proc
 	gcBusy      bool
 
+	gc       gcSM       // handler-mode GC state
+	progFree []*progCtx // free list of pooled program ops (kernel-single-threaded)
+	readFree []*readCtx // free list of pooled handler read ops
+
 	stats Stats
 }
 
@@ -107,8 +111,19 @@ func New(k *sim.Kernel, arr *nand.Array, cfg Config) *FTL {
 	f.durableCond = sim.NewCond(k)
 	f.spaceCond = sim.NewCond(k)
 	f.gcCond = sim.NewCond(k)
-	f.gcProc = k.Spawn("ftl/gc", f.gcLoop)
+	f.spawnGC()
 	return f
+}
+
+// spawnGC starts the GC daemon in the kernel's process model: a
+// run-to-completion handler on callback kernels, the blocking goroutine
+// loop on the reference kernel.
+func (f *FTL) spawnGC() {
+	if f.k.CallbackMode() {
+		f.gcProc = f.k.SpawnHandler("ftl/gc", f.gcStep)
+	} else {
+		f.gcProc = f.k.Spawn("ftl/gc", f.gcLoop)
+	}
 }
 
 // SegmentSlots returns the number of page slots per segment.
@@ -142,6 +157,14 @@ func (f *FTL) Append(p *sim.Proc, lpa uint64, data any) uint64 {
 		panic("ftl: logical page address collides with reserved markers")
 	}
 	f.ensureActive(p)
+	idx := f.appendSlot(lpa, data)
+	f.maybeTriggerGC()
+	return idx
+}
+
+// appendSlot performs the non-blocking body of a host append: the caller
+// must have ensured the active segment has a free slot.
+func (f *FTL) appendSlot(lpa uint64, data any) uint64 {
 	seg := f.active
 	slot := seg.nextSlot
 	idx := f.appendIdx
@@ -157,7 +180,6 @@ func (f *FTL) Append(p *sim.Proc, lpa uint64, data any) uint64 {
 	seg.valid++
 	f.stats.HostAppends++
 	f.program(seg, slot, nand.PageMeta{LPA: lpa, Seq: f.appendSeq}, data)
-	f.maybeTriggerGC()
 	return idx
 }
 
@@ -180,6 +202,13 @@ func (f *FTL) ensureActive(p *sim.Proc) {
 		f.maybeTriggerGC()
 		f.spaceCond.Wait(p)
 	}
+	f.openSegment()
+}
+
+// openSegment takes the head free segment as the new active segment and
+// programs its summary page. The caller must have ensured the free list is
+// non-empty.
+func (f *FTL) openSegment() {
 	id := f.free[0]
 	f.free = f.free[1:]
 	f.allocSeq++
@@ -202,18 +231,46 @@ func (f *FTL) ensureActive(p *sim.Proc) {
 	f.program(seg, slot, nand.PageMeta{LPA: SummaryLPA, Seq: seg.allocSeq}, nil)
 }
 
+// progCtx is a pooled program operation: the NAND request plus its
+// completion context, with the Done closure bound once at allocation. The
+// free list is owned by the (single-threaded) kernel's FTL, so steady-state
+// programs — every host write and GC move — allocate nothing.
+type progCtx struct {
+	f    *FTL
+	seg  *segment
+	slot int
+	req  nand.Request
+}
+
+func (c *progCtx) done(at sim.Time, r *nand.Request) {
+	if r.Err != nil {
+		panic(fmt.Sprintf("ftl: program failed: %v", r.Err))
+	}
+	f := c.f
+	f.programDone(c.seg, c.slot)
+	c.seg = nil
+	c.req.Data = nil
+	c.req.Meta = nand.PageMeta{}
+	f.progFree = append(f.progFree, c)
+}
+
 func (f *FTL) program(seg *segment, slot int, meta nand.PageMeta, data any) {
-	f.arr.Submit(&nand.Request{
-		Kind: nand.OpProgram,
-		Chip: f.chipOf(slot), Block: seg.id, Page: f.pageOf(slot),
-		Meta: meta, Data: data,
-		Done: func(at sim.Time, r *nand.Request) {
-			if r.Err != nil {
-				panic(fmt.Sprintf("ftl: program failed: %v", r.Err))
-			}
-			f.programDone(seg, slot)
-		},
-	})
+	var c *progCtx
+	if n := len(f.progFree); n > 0 {
+		c = f.progFree[n-1]
+		f.progFree = f.progFree[:n-1]
+	} else {
+		c = &progCtx{f: f}
+		c.req.Done = c.done // one bound closure per pooled ctx, ever
+	}
+	c.seg, c.slot = seg, slot
+	c.req.Kind = nand.OpProgram
+	c.req.Chip, c.req.Block, c.req.Page = f.chipOf(slot), seg.id, f.pageOf(slot)
+	c.req.Meta, c.req.Data = meta, data
+	c.req.Err = nil
+	// Requests lost to a power failure never fire Done and simply fall out
+	// of the pool; only completed ops are recycled.
+	f.arr.Submit(&c.req)
 }
 
 func (f *FTL) programDone(seg *segment, slot int) {
@@ -340,27 +397,36 @@ func (f *FTL) collect(p *sim.Proc, victim *segment) {
 			continue
 		}
 		f.ensureActive(p)
-		seg := f.active
-		ns := seg.nextSlot
-		idx := f.appendIdx
-		f.appendIdx++
-		f.appendSeq++
-		seg.nextSlot++
-		seg.lpas[ns] = lpa
-		if seg.nextSlot == f.caps {
-			seg.sealed = true
-		}
-		victim.valid--
-		f.mapping[lpa] = slotRef{seg: seg.id, slot: ns}
-		seg.valid++
-		f.stats.GCAppends++
-		f.program(seg, ns, nand.PageMeta{LPA: lpa, Seq: f.appendSeq}, data)
-		lastIdx = idx + 1
+		lastIdx = f.gcAppendSlot(victim, lpa, data)
 	}
 	// The copies must be durable before the originals are destroyed,
 	// otherwise a crash between erase and program would lose data.
 	f.WaitDurable(p, lastIdx)
 	f.eraseSegment(p, victim)
+}
+
+// gcAppendSlot moves one still-valid page of victim to the head of the
+// log: the non-blocking body of a GC re-append, shared by the blocking
+// collect and the handler gcStep so the two stay statement-identical. The
+// caller must have ensured the active segment has a free slot. It returns
+// the durability watermark (append index + 1) of the moved copy.
+func (f *FTL) gcAppendSlot(victim *segment, lpa uint64, data any) uint64 {
+	seg := f.active
+	ns := seg.nextSlot
+	idx := f.appendIdx
+	f.appendIdx++
+	f.appendSeq++
+	seg.nextSlot++
+	seg.lpas[ns] = lpa
+	if seg.nextSlot == f.caps {
+		seg.sealed = true
+	}
+	victim.valid--
+	f.mapping[lpa] = slotRef{seg: seg.id, slot: ns}
+	seg.valid++
+	f.stats.GCAppends++
+	f.program(seg, ns, nand.PageMeta{LPA: lpa, Seq: f.appendSeq}, data)
+	return idx + 1
 }
 
 func (f *FTL) eraseSegment(p *sim.Proc, seg *segment) {

@@ -1,0 +1,277 @@
+package ftl
+
+import (
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// This file holds the run-to-completion (handler) form of the FTL's
+// blocking machinery: step-wise append and read primitives for handler
+// clients (the device's writeback and worker handlers), and the GC daemon
+// as a state machine. Each function mirrors its blocking original statement
+// for statement — one Mesa-loop iteration per activation, identical stat
+// bumps and waitlist appends — so the dispatch trace is byte-identical to
+// the goroutine code the reference kernel runs.
+
+// ensureSM tracks progress through the handler form of ensureActive.
+type ensureSM int
+
+const (
+	esStart ensureSM = iota // fast path / classify which wait applies
+	esSeal                  // seal barrier: previous segment still programming
+	esSpace                 // free-segment wait
+)
+
+// ensureStep is the handler analogue of ensureActive: it reports true when
+// the active segment has a free slot, or parks h on the same condition the
+// blocking version would wait on and reports false. The caller re-invokes
+// it with the same state on its next activation.
+func (f *FTL) ensureStep(h *sim.Proc, s *ensureSM) bool {
+	for {
+		switch *s {
+		case esStart:
+			if f.active != nil && f.active.nextSlot < f.caps {
+				return true
+			}
+			if f.active != nil {
+				*s = esSeal
+				continue
+			}
+			*s = esSpace
+		case esSeal:
+			// Seal barrier: wait for the full segment to finish programming.
+			if f.active.prefixOK < f.active.nextSlot {
+				f.stats.Stalls++
+				f.durableCond.Park(h)
+				return false
+			}
+			*s = esSpace
+		case esSpace:
+			if len(f.free) == 0 {
+				f.stats.Stalls++
+				f.maybeTriggerGC()
+				f.spaceCond.Park(h)
+				return false
+			}
+			f.openSegment()
+			return true
+		}
+	}
+}
+
+// AppendOp is an in-progress handler append — the run-to-completion
+// analogue of Append. Arm it with Start, then call FTL.AppendStep on every
+// activation until it reports done; Idx then holds the global append index.
+type AppendOp struct {
+	lpa  uint64
+	data any
+	es   ensureSM
+
+	// Idx is the global append index, valid once AppendStep returned true.
+	Idx uint64
+}
+
+// Start arms the op for one logical-page append.
+func (op *AppendOp) Start(lpa uint64, data any) {
+	if lpa >= SealLPA {
+		panic("ftl: logical page address collides with reserved markers")
+	}
+	op.lpa, op.data, op.es = lpa, data, esStart
+}
+
+// AppendStep advances a handler append: it either completes the append
+// (true, op.Idx valid) or parks h exactly where the blocking Append would
+// have blocked (false; re-invoke on the next activation).
+func (f *FTL) AppendStep(h *sim.Proc, op *AppendOp) bool {
+	if !f.ensureStep(h, &op.es) {
+		return false
+	}
+	op.Idx = f.appendSlot(op.lpa, op.data)
+	op.data = nil
+	f.maybeTriggerGC()
+	return true
+}
+
+// DurableOrPark is the handler analogue of one WaitDurable Mesa iteration:
+// true when every append below idx is durable, otherwise it parks h on the
+// durability condition.
+func (f *FTL) DurableOrPark(h *sim.Proc, idx uint64) bool {
+	if f.durableIdx < idx {
+		f.durableCond.Park(h)
+		return false
+	}
+	return true
+}
+
+// readCtx is a pooled handler read: the NAND request plus completion
+// plumbing, Done bound once at allocation.
+type readCtx struct {
+	f   *FTL
+	h   *sim.Proc
+	out *any
+	req nand.Request
+}
+
+func (c *readCtx) done(at sim.Time, r *nand.Request) {
+	*c.out = r.Data
+	h := c.h
+	f := c.f
+	c.h, c.out = nil, nil
+	c.req.Data = nil
+	c.req.Meta = nand.PageMeta{}
+	f.readFree = append(f.readFree, c)
+	// Same single wake-up the blocking Read's done.Signal would issue.
+	f.k.Resume(h)
+}
+
+// ReadStart is the handler analogue of Read: it reports false for an
+// unmapped page (no IO, no wait), or issues the NAND read and arranges for
+// h to be resumed with the result stored in *out. The caller parks after a
+// true return. Reads lost to a power failure never resume the handler,
+// matching the blocking Read's lost wake-up.
+func (f *FTL) ReadStart(h *sim.Proc, lpa uint64, out *any) bool {
+	ref, mapped := f.mapping[lpa]
+	if !mapped {
+		return false
+	}
+	f.readTo(h, ref, out)
+	return true
+}
+
+func (f *FTL) readTo(h *sim.Proc, ref slotRef, out *any) {
+	var c *readCtx
+	if n := len(f.readFree); n > 0 {
+		c = f.readFree[n-1]
+		f.readFree = f.readFree[:n-1]
+	} else {
+		c = &readCtx{f: f}
+		c.req.Done = c.done
+	}
+	c.h, c.out = h, out
+	c.req.Kind = nand.OpRead
+	c.req.Chip, c.req.Block, c.req.Page = f.chipOf(ref.slot), ref.seg, f.pageOf(ref.slot)
+	c.req.Err = nil
+	f.arr.Submit(&c.req)
+}
+
+// GC handler phases.
+const (
+	gcIdle      = iota // waiting for free segments to run low
+	gcScan             // walking victim slots, issuing copy reads
+	gcRead             // copy read in flight
+	gcEnsure           // ensureActive for the re-append
+	gcWaitDur          // waiting for moved copies to become durable
+	gcEraseWait        // per-chip erases in flight
+)
+
+// gcSM is the GC daemon's state between activations.
+type gcSM struct {
+	phase   int
+	victim  *segment
+	slot    int
+	data    any
+	lastIdx uint64
+	es      ensureSM
+	pending int // outstanding erase ops
+}
+
+// gcStep is the run-to-completion GC daemon, mirroring
+// gcLoop/collect/eraseSegment blocking point for blocking point.
+func (f *FTL) gcStep(h *sim.Proc) {
+	g := &f.gc
+	for {
+		switch g.phase {
+		case gcIdle:
+			if len(f.free) > f.cfg.GCLowWater {
+				f.gcCond.Park(h)
+				return
+			}
+			victim := f.pickVictim()
+			if victim == nil {
+				// Nothing reclaimable; wait for invalidations.
+				f.gcCond.Park(h)
+				return
+			}
+			f.gcBusy = true
+			g.victim, g.slot, g.lastIdx = victim, 0, 0
+			g.phase = gcScan
+
+		case gcScan:
+			v := g.victim
+			for g.slot < v.nextSlot {
+				lpa := v.lpas[g.slot]
+				if lpa >= SealLPA {
+					g.slot++
+					continue
+				}
+				ref, ok := f.mapping[lpa]
+				if !ok || ref.seg != v.id || ref.slot != g.slot {
+					g.slot++ // overwritten since; garbage
+					continue
+				}
+				// Read the page, then re-append (gcRead on completion).
+				f.readTo(h, ref, &g.data)
+				g.phase = gcRead
+				h.Park()
+				return
+			}
+			// The copies must be durable before the originals are destroyed.
+			g.phase = gcWaitDur
+
+		case gcRead:
+			v := g.victim
+			lpa := v.lpas[g.slot]
+			// Re-check validity: the host may have overwritten during the read.
+			ref, ok := f.mapping[lpa]
+			if !ok || ref.seg != v.id || ref.slot != g.slot {
+				g.slot++
+				g.phase = gcScan
+				continue
+			}
+			g.es = esStart
+			g.phase = gcEnsure
+
+		case gcEnsure:
+			if !f.ensureStep(h, &g.es) {
+				return
+			}
+			v := g.victim
+			g.lastIdx = f.gcAppendSlot(v, v.lpas[g.slot], g.data)
+			g.data = nil
+			g.slot++
+			g.phase = gcScan
+
+		case gcWaitDur:
+			if f.durableIdx < g.lastIdx {
+				f.durableCond.Park(h)
+				return
+			}
+			g.pending = f.geo.Chips()
+			for chip := 0; chip < f.geo.Chips(); chip++ {
+				f.arr.Submit(&nand.Request{
+					Kind: nand.OpErase, Chip: chip, Block: g.victim.id,
+					Done: func(at sim.Time, r *nand.Request) {
+						g.pending--
+						if g.pending == 0 {
+							f.k.Resume(f.gcProc)
+						}
+					},
+				})
+			}
+			g.phase = gcEraseWait
+			h.Park()
+			return
+
+		case gcEraseWait:
+			seg := g.victim
+			*seg = segment{id: seg.id}
+			f.free = append(f.free, seg.id)
+			f.stats.SegsErased++
+			g.victim = nil
+			f.gcBusy = false
+			f.stats.GCRuns++
+			f.spaceCond.Broadcast()
+			g.phase = gcIdle
+		}
+	}
+}

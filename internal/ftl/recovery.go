@@ -68,7 +68,7 @@ func Mount(p *sim.Proc, arr *nand.Array, cfg Config) *FTL {
 	}
 
 	f.durableIdx = f.appendIdx
-	f.gcProc = k.Spawn("ftl/gc", f.gcLoop)
+	f.spawnGC()
 	return f
 }
 

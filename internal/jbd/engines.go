@@ -58,29 +58,36 @@ func (j *Journal) submitWaitAll(p *sim.Proc, reqs []*block.Request) {
 }
 
 // buildJD allocates journal slots and builds the descriptor+log requests
-// (the paper's JD chunk) and the commit request (JC) for t.
+// (the paper's JD chunk) and the commit request (JC) for t. The requests
+// come from the journal's pool; each engine releases them at its last use
+// (after the commit wait, or at completion for Dual-Mode's unwaited JD).
 func (j *Journal) buildJD(t *Txn) (jd []*block.Request, jc *block.Request) {
 	n := len(t.frozen)
-	desc := &block.Request{
-		Op: block.OpWrite, LPA: j.slotLPA(j.head),
-		Data: DescBlock{TxnID: t.id, N: n},
-	}
+	desc := j.reqPool.Get()
+	desc.Op, desc.LPA = block.OpWrite, j.slotLPA(j.head)
+	desc.Data = DescBlock{TxnID: t.id, N: n}
 	j.head++
 	jd = append(jd, desc)
 	for i, l := range t.frozen {
-		jd = append(jd, &block.Request{
-			Op: block.OpWrite, LPA: j.slotLPA(j.head),
-			Data: LogBlock{TxnID: t.id, Index: i, Home: l.home, Snapshot: l.data},
-		})
+		r := j.reqPool.Get()
+		r.Op, r.LPA = block.OpWrite, j.slotLPA(j.head)
+		r.Data = LogBlock{TxnID: t.id, Index: i, Home: l.home, Snapshot: l.data}
+		jd = append(jd, r)
 		j.head++
 	}
-	jc = &block.Request{
-		Op: block.OpWrite, LPA: j.slotLPA(j.head),
-		Data: CommitBlock{TxnID: t.id, N: n},
-	}
+	jc = j.reqPool.Get()
+	jc.Op, jc.LPA = block.OpWrite, j.slotLPA(j.head)
+	jc.Data = CommitBlock{TxnID: t.id, N: n}
 	j.head++
 	j.stats.PagesLogged += int64(n + 2)
 	return jd, jc
+}
+
+// releaseReqs returns fully waited-on journal requests to the pool.
+func (j *Journal) releaseReqs(reqs []*block.Request) {
+	for _, r := range reqs {
+		j.reqPool.Put(r)
+	}
 }
 
 // --- JBD2: the EXT4 transfer-and-flush engine (§2.3) ---
@@ -112,6 +119,8 @@ func (j *Journal) jbd2Thread(p *sim.Proc) {
 			j.stats.Flushes++
 		}
 		j.submitWaitAll(p, []*block.Request{jc})
+		j.releaseReqs(jd)
+		j.reqPool.Put(jc)
 		t.jcTransferred = true
 		t.state = StateCommitted
 		t.wakeCommitted()
@@ -167,6 +176,9 @@ func (j *Journal) dualCommitThread(p *sim.Proc) {
 				// The tail of the JD chunk closes the {D, JD} epoch.
 				r.Flags |= block.FlagBarrier
 			}
+			// Nothing waits on a Dual-Mode JD write: completion is its last
+			// reference, so it recycles itself there.
+			r.OnComplete = j.relJD
 			j.layer.Submit(p, r)
 		}
 		jc.Flags |= block.FlagOrdered | block.FlagBarrier
@@ -174,6 +186,7 @@ func (j *Journal) dualCommitThread(p *sim.Proc) {
 		jc.OnComplete = func(at sim.Time, _ *block.Request) {
 			txn.jcTransferred = true
 			j.flushQ.Put(txn)
+			j.reqPool.Put(jc)
 		}
 		j.layer.Submit(p, jc)
 		// Ordering is established at dispatch: fbarrier callers resume here,
@@ -247,6 +260,8 @@ func (j *Journal) optfsCommitThread(p *sim.Proc) {
 		// barriers, and never flushes on the commit path.
 		j.submitWaitAll(p, jd)
 		j.submitWaitAll(p, []*block.Request{jc})
+		j.releaseReqs(jd)
+		j.reqPool.Put(jc)
 		t.jcTransferred = true
 		t.state = StateCommitted
 		t.wakeCommitted()
@@ -271,6 +286,80 @@ func (j *Journal) optfsDelayedFlush(p *sim.Proc) {
 	}
 }
 
+// Run-to-completion form of the delayed-durability flush daemon (see
+// optfsDelayedFlush for the blocking original). Its blocking points — the
+// idle wait, the FlushInterval sleep, the flush request's congestion and
+// completion waits, and the post-wake scheduler latency — each become one
+// phase; the retire bookkeeping mirrors retireCommitted exactly.
+const (
+	dfIdle      = iota // no committed-not-durable transactions
+	dfSleep            // FlushInterval timer armed
+	dfSubmit           // flush request submission (congestion retries)
+	dfFlushWait        // flush request in flight
+	dfWake             // post-flush scheduler latency elapsed
+)
+
+type delayFlushSM struct {
+	phase   int
+	pending []*Txn
+	req     *block.Request
+}
+
+func (j *Journal) delayedFlushStep(h *sim.Proc) {
+	s := &j.df
+	for {
+		switch s.phase {
+		case dfIdle:
+			if len(j.committedNotDurable()) == 0 {
+				j.optfsCond.Park(h)
+				return
+			}
+			s.phase = dfSleep
+			h.WakeAt(h.Now().Add(j.cfg.FlushInterval))
+			return
+		case dfSleep:
+			s.pending = j.committedNotDurable()
+			if len(s.pending) == 0 {
+				s.phase = dfIdle
+				continue
+			}
+			s.req = j.reqPool.Get()
+			s.req.Op = block.OpFlush
+			s.phase = dfSubmit
+		case dfSubmit:
+			if !j.layer.SubmitOrPark(h, s.req) {
+				return
+			}
+			s.phase = dfFlushWait
+			if !s.req.WaitOrPark(h) {
+				return
+			}
+		case dfFlushWait:
+			j.reqPool.Put(s.req)
+			s.req = nil
+			s.phase = dfWake
+			if j.cfg.WakeLatency > 0 {
+				h.WakeIn(j.cfg.WakeLatency)
+				return
+			}
+		case dfWake:
+			j.stats.Flushes++
+			for _, c := range s.pending {
+				// Same re-check as retireCommitted: a concurrent retirer may
+				// have finished c while the flush was in flight.
+				if c.state != StateCommitted {
+					continue
+				}
+				c.state = StateDurable
+				c.wakeDurable()
+				j.finishTxn(c)
+			}
+			s.pending = nil
+			s.phase = dfIdle
+		}
+	}
+}
+
 // retireCommitted flushes the device and retires every committed
 // transaction: the delayed-durability step of OptFS, also invoked directly
 // under journal-space pressure and by dsync-style waiters.
@@ -283,6 +372,13 @@ func (j *Journal) retireCommitted(p *sim.Proc) {
 	j.wake(p)
 	j.stats.Flushes++
 	for _, c := range pending {
+		// Re-check: another retirer (space-pressured reserve, a dsync
+		// waiter, the delayed-flush daemon) may have retired c while this
+		// one was blocked in the flush; finishing it twice would double-
+		// credit its journal pages and duplicate it in the checkpoint queue.
+		if c.state != StateCommitted {
+			continue
+		}
 		c.state = StateDurable
 		c.wakeDurable()
 		j.finishTxn(c)
@@ -373,19 +469,22 @@ func (j *Journal) checkpointThread(p *sim.Proc) {
 		}
 		var reqs []*block.Request
 		for _, h := range order {
-			reqs = append(reqs, &block.Request{Op: block.OpWrite, LPA: h, Data: homes[h]})
+			r := j.reqPool.Get()
+			r.Op, r.LPA, r.Data = block.OpWrite, h, homes[h]
+			reqs = append(reqs, r)
 		}
 		j.submitWaitAll(p, reqs)
+		j.releaseReqs(reqs)
 		// 3. Make the in-place copies durable, then advance the tail.
 		j.layer.Flush(p)
 		j.wake(p)
 		j.tailTxn = batch[len(batch)-1].id + 1
-		sb := &block.Request{
-			Op: block.OpWrite, LPA: j.cfg.SuperLPA,
-			Data:  SuperBlock{TailTxn: j.tailTxn},
-			Flags: block.FlagFUA,
-		}
+		sb := j.reqPool.Get()
+		sb.Op, sb.LPA = block.OpWrite, j.cfg.SuperLPA
+		sb.Data = SuperBlock{TailTxn: j.tailTxn}
+		sb.Flags = block.FlagFUA
 		j.submitWaitAll(p, []*block.Request{sb})
+		j.reqPool.Put(sb)
 		for _, t := range batch {
 			j.freePages += t.pagesUsed
 		}

@@ -219,6 +219,13 @@ type Journal struct {
 	spaceCond *sim.Cond
 	confCond  *sim.Cond
 	optfsCond *sim.Cond
+	df        delayFlushSM // handler-mode delayed flush state (engines.go)
+
+	// reqPool recycles the journal's own block requests (JD/JC chunks,
+	// checkpoint writes); relJD is the bound release hook for requests whose
+	// last reference is their completion (Dual-Mode JD writes).
+	reqPool block.ReqPool
+	relJD   func(at sim.Time, r *block.Request)
 
 	head      uint64 // next journal slot sequence number
 	freePages int
@@ -244,6 +251,7 @@ func New(k *sim.Kernel, layer block.Submitter, cfg Config) *Journal {
 		nextTxnID: 1,
 		tailTxn:   1,
 	}
+	j.relJD = func(_ sim.Time, r *block.Request) { j.reqPool.Put(r) }
 	j.running = j.newTxn()
 	switch cfg.Mode {
 	case ModeDual:
@@ -251,7 +259,13 @@ func New(k *sim.Kernel, layer block.Submitter, cfg Config) *Journal {
 		k.Spawn("jbd/flush", j.dualFlushThread)
 	case ModeOptFS:
 		k.Spawn("jbd/commit", j.optfsCommitThread)
-		k.Spawn("jbd/delayflush", j.optfsDelayedFlush)
+		if k.CallbackMode() {
+			// The delayed-durability timer is pure reactive work: run it as
+			// a run-to-completion handler on callback kernels.
+			k.SpawnHandler("jbd/delayflush", j.delayedFlushStep)
+		} else {
+			k.Spawn("jbd/delayflush", j.optfsDelayedFlush)
+		}
 	default:
 		k.Spawn("jbd/jbd2", j.jbd2Thread)
 	}

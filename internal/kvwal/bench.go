@@ -77,7 +77,7 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg BenchConfig, duration sim.Duration)
 	})
 	for c := 0; c < cfg.Clients; c++ {
 		c := c
-		k.Spawn(fmt.Sprintf("kv/client%d", c), func(p *sim.Proc) {
+		k.SpawnIdx("kv/client", c, func(p *sim.Proc) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
 			for !ready {
 				p.Sleep(sim.Millisecond)

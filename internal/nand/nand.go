@@ -111,12 +111,29 @@ type blockState struct {
 	pages  []pageState
 }
 
+// chip phases of the handler state machine. Each phase boundary is one
+// blocking point of the goroutine serve loop; everything between executes
+// run-to-completion inside a single activation.
+const (
+	chipIdle     = iota // fetching the next job from the queue
+	chipPgmBus          // acquiring the channel bus for the data transfer
+	chipPgmXfer         // bus transfer in progress
+	chipPgmCell         // cell program (tPROG) in progress
+	chipReadCell        // array read (tR) in progress
+	chipReadBus         // acquiring the channel bus for the read-out
+	chipReadXfer        // read-out bus transfer in progress
+	chipErase           // block erase (tBERS) in progress
+)
+
 type chip struct {
 	id     int
 	ch     int
 	q      *sim.Queue[*Request]
 	blocks []blockState
 	proc   *sim.Proc
+
+	phase int      // handler state machine position
+	cur   *Request // job in service (handler mode)
 }
 
 // Stats are cumulative operation counts.
@@ -163,7 +180,11 @@ func New(k *sim.Kernel, geo Geometry, timing Timing) *Array {
 			c.blocks[b].pages = make([]pageState, geo.PagesPerBlock)
 		}
 		a.chips = append(a.chips, c)
-		c.proc = k.Spawn(fmt.Sprintf("nand/chip%d", id), func(p *sim.Proc) { a.serve(p, c) })
+		if k.CallbackMode() {
+			c.proc = k.SpawnHandlerIdx("nand/chip", id, func(h *sim.Proc) { a.chipStep(h, c) })
+		} else {
+			c.proc = k.SpawnIdx("nand/chip", id, func(p *sim.Proc) { a.serve(p, c) })
+		}
 	}
 	return a
 }
@@ -194,6 +215,10 @@ func (a *Array) Submit(r *Request) {
 	a.chips[r.Chip].q.Put(r)
 }
 
+// serve is the blocking (goroutine-proc) chip service loop. It is the
+// semantic oracle for chipStep: the reference kernel runs this code, the
+// optimized kernel runs the state machine, and the golden trace tests pin
+// their dispatch sequences byte-identical.
 func (a *Array) serve(p *sim.Proc, c *chip) {
 	for {
 		r, ok := c.q.Get(p)
@@ -279,6 +304,139 @@ func (a *Array) doErase(p *sim.Proc, c *chip, r *Request) {
 	a.stats.Erases++
 	if r.Done != nil {
 		r.Done(p.Now(), r)
+	}
+}
+
+// chipStep is the run-to-completion chip service handler: one blocking
+// point of serve per phase, everything in between executed inline on the
+// dispatching goroutine. It mirrors serve/doProgram/doRead/doErase
+// statement for statement — same queue waits, same bus semaphore
+// iterations, same timing advances, same generation checks — so its
+// dispatch trace is byte-identical to the goroutine loop's.
+func (a *Array) chipStep(h *sim.Proc, c *chip) {
+	for {
+		switch c.phase {
+		case chipIdle:
+			r, got, closed := c.q.GetOrPark(h)
+			if closed {
+				h.Complete()
+				return
+			}
+			if !got {
+				return // parked on the queue
+			}
+			if r.gen != a.gen || a.failed {
+				a.stats.LostJobs++
+				continue
+			}
+			c.cur = r
+			switch r.Kind {
+			case OpProgram:
+				blk := &c.blocks[r.Block]
+				if r.Page != blk.next {
+					r.Err = fmt.Errorf("nand: chip %d block %d: program page %d violates in-order rule (next=%d)",
+						c.id, r.Block, r.Page, blk.next)
+					a.stats.Faults++
+					c.cur = nil
+					if r.Done != nil {
+						r.Done(h.Now(), r)
+					}
+					continue
+				}
+				c.phase = chipPgmBus
+			case OpRead:
+				c.phase = chipReadCell
+				if d := a.timing.Read; d > 0 {
+					h.WakeIn(d)
+					return
+				}
+			case OpErase:
+				c.phase = chipErase
+				if d := a.timing.Erase; d > 0 {
+					h.WakeIn(d)
+					return
+				}
+			}
+
+		case chipPgmBus:
+			if !a.buses[c.ch].AcquireOrPark(h, 1) {
+				return // parked on the bus
+			}
+			c.phase = chipPgmXfer
+			if d := a.timing.BusXfer; d > 0 {
+				h.WakeIn(d)
+				return
+			}
+		case chipPgmXfer:
+			a.buses[c.ch].Release(1)
+			c.phase = chipPgmCell
+			if d := a.timing.Program.Scale(a.ProgramScale); d > 0 {
+				h.WakeIn(d)
+				return
+			}
+		case chipPgmCell:
+			r := c.cur
+			c.cur = nil
+			c.phase = chipIdle
+			if r.gen != a.gen || a.failed {
+				// Power failed mid-program: clean page loss, as in doProgram.
+				a.stats.LostJobs++
+				continue
+			}
+			blk := &c.blocks[r.Block]
+			blk.pages[r.Page] = pageState{programmed: true, meta: r.Meta, data: r.Data}
+			blk.next++
+			a.stats.Programs++
+			if r.Done != nil {
+				r.Done(h.Now(), r)
+			}
+
+		case chipReadCell:
+			c.phase = chipReadBus
+		case chipReadBus:
+			if !a.buses[c.ch].AcquireOrPark(h, 1) {
+				return
+			}
+			c.phase = chipReadXfer
+			if d := a.timing.BusXfer; d > 0 {
+				h.WakeIn(d)
+				return
+			}
+		case chipReadXfer:
+			a.buses[c.ch].Release(1)
+			r := c.cur
+			c.cur = nil
+			c.phase = chipIdle
+			if r.gen != a.gen || a.failed {
+				a.stats.LostJobs++
+				continue
+			}
+			ps := c.blocks[r.Block].pages[r.Page]
+			r.Meta, r.Data = ps.meta, ps.data
+			a.stats.Reads++
+			if r.Done != nil {
+				r.Done(h.Now(), r)
+			}
+
+		case chipErase:
+			r := c.cur
+			c.cur = nil
+			c.phase = chipIdle
+			if r.gen != a.gen || a.failed {
+				a.stats.LostJobs++
+				continue
+			}
+			blk := &c.blocks[r.Block]
+			blk.next = 0
+			blk.erases++
+			for i := range blk.pages {
+				blk.pages[i] = pageState{}
+			}
+			a.stats.Erases++
+			if r.Done != nil {
+				r.Done(h.Now(), r)
+			}
+		}
 	}
 }
 

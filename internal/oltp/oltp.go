@@ -136,7 +136,7 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg Config, duration sim.Duration) Benc
 	})
 	for c := 0; c < cfg.Clients; c++ {
 		c := c
-		k.Spawn(fmt.Sprintf("oltp/client%d", c), func(p *sim.Proc) {
+		k.SpawnIdx("oltp/client", c, func(p *sim.Proc) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
 			for !ready {
 				p.Sleep(sim.Millisecond)

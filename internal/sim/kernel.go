@@ -29,16 +29,17 @@ type event struct {
 // caller only when no runnable event remains, the time limit is reached, or
 // Stop was called.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	q       eventQueue
-	ref     *refQueue // non-nil: use the container/heap oracle (testing)
-	procs   []*Proc
-	live    int
-	cur     *Proc
-	stopped bool
-	closed  bool
-	closing bool
+	now      Time
+	seq      uint64
+	q        eventQueue
+	ref      *refQueue // non-nil: use the container/heap oracle (testing)
+	procs    []*Proc
+	live     int
+	cur      *Proc
+	stopped  bool
+	closed   bool
+	closing  bool
+	callback bool // components should use run-to-completion handlers
 
 	until      Time          // RunUntil limit, read by next()
 	single     bool          // Step mode: return the baton after one dispatch
@@ -52,19 +53,38 @@ type Kernel struct {
 	tr *Trace
 }
 
-// NewKernel returns an empty kernel at virtual time zero.
+// NewKernel returns an empty kernel at virtual time zero. Components built
+// on it use run-to-completion handler procs for their reactive leaves (see
+// CallbackMode); this is the fast configuration.
 func NewKernel() *Kernel {
-	return &Kernel{done: make(chan struct{}, 1)}
+	return &Kernel{done: make(chan struct{}, 1), callback: true}
 }
 
 // NewReferenceKernel returns a kernel whose event queue is the seed's
-// container/heap implementation. It exists as the dispatch-order oracle for
-// the golden trace tests; use NewKernel everywhere else.
+// container/heap implementation and whose components use blocking goroutine
+// procs everywhere (CallbackMode off). It exists as the dispatch-order
+// oracle for the golden trace tests: the optimized kernel running handler
+// state machines must dispatch the byte-identical event sequence this
+// kernel produces from the original blocking code. Use NewKernel everywhere
+// else.
 func NewReferenceKernel() *Kernel {
 	k := NewKernel()
 	k.ref = &refQueue{}
+	k.callback = false
 	return k
 }
+
+// CallbackMode reports whether components should register their reactive
+// leaf loops as run-to-completion handlers (SpawnHandler) instead of
+// blocking goroutine procs (Spawn). Both implementations must produce
+// byte-identical dispatch traces; the handler form just skips the goroutine
+// switch per event.
+func (k *Kernel) CallbackMode() bool { return k.callback }
+
+// SetCallbackMode overrides the component process model. It only affects
+// components constructed afterwards; tests use it to cross kernel and
+// process-model combinations.
+func (k *Kernel) SetCallbackMode(on bool) { k.callback = on }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -139,20 +159,72 @@ func (k *Kernel) getWorker() *worker {
 // start at the current virtual time. It may be called before Run or from
 // inside a running process.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, -1, fn)
+}
+
+// SpawnIdx is Spawn with the name rendered lazily as prefix+idx: the
+// formatting cost (one allocation per spawn) is paid only if something —
+// tracing with retained records, a diagnostic panic — actually asks for the
+// name. Hot spawn sites (per-chip, per-worker, per-client procs) use it so
+// an untraced run never formats a name.
+func (k *Kernel) SpawnIdx(prefix string, idx int, fn func(p *Proc)) *Proc {
+	return k.spawn(prefix, idx, fn)
+}
+
+func (k *Kernel) spawn(prefix string, idx int, fn func(p *Proc)) *Proc {
 	if k.closed {
 		panic("sim: Spawn on closed kernel")
 	}
 	w := k.getWorker()
 	p := &Proc{
-		k:      k,
-		id:     len(k.procs),
-		name:   name,
-		fn:     fn,
-		state:  statePending,
-		w:      w,
-		resume: w.resume,
+		k:       k,
+		id:      len(k.procs),
+		name:    prefix,
+		nameIdx: idx,
+		fn:      fn,
+		state:   statePending,
+		w:       w,
+		resume:  w.resume,
 	}
 	w.p = p
+	k.procs = append(k.procs, p)
+	k.live++
+	k.schedule(k.now, p)
+	return p
+}
+
+// SpawnHandler registers a run-to-completion event handler: a process whose
+// step function executes inline on the dispatching goroutine every time one
+// of its events fires — zero channel handoffs, zero goroutine switches.
+//
+// A handler must never call the blocking APIs (Sleep, Advance, Suspend,
+// Cond.Wait, Queue.Get, Semaphore.Acquire, Join); instead it arms exactly
+// one continuation before returning: WakeIn/WakeAt (timer), Park (await an
+// external Resume), Cond.Park / Queue.GetOrPark / Semaphore.AcquireOrPark
+// (waitlists, one Mesa iteration each), or Complete (terminate). Returning
+// without arming is equivalent to Park. Like Spawn, the handler's first
+// activation is scheduled at the current virtual time.
+func (k *Kernel) SpawnHandler(name string, step func(h *Proc)) *Proc {
+	return k.spawnHandler(name, -1, step)
+}
+
+// SpawnHandlerIdx is SpawnHandler with a lazily rendered prefix+idx name.
+func (k *Kernel) SpawnHandlerIdx(prefix string, idx int, step func(h *Proc)) *Proc {
+	return k.spawnHandler(prefix, idx, step)
+}
+
+func (k *Kernel) spawnHandler(prefix string, idx int, step func(h *Proc)) *Proc {
+	if k.closed {
+		panic("sim: SpawnHandler on closed kernel")
+	}
+	p := &Proc{
+		k:       k,
+		id:      len(k.procs),
+		name:    prefix,
+		nameIdx: idx,
+		step:    step,
+		state:   statePending,
+	}
 	k.procs = append(k.procs, p)
 	k.live++
 	k.schedule(k.now, p)
@@ -232,9 +304,25 @@ func (k *Kernel) next() {
 		}
 		p := e.p
 		k.cur = p
+		wasPending := p.state == statePending
 		p.state = stateRunning
 		p.wakeups++
 		k.singleDone = true
+		if p.step != nil {
+			// Run-to-completion handler: execute inline and keep dispatching.
+			// Mirrors the goroutine proc's wake path: the token bump matches
+			// block()'s invalidate-on-wake (first dispatches of goroutine
+			// procs skip it too, since they enter fn directly).
+			if !wasPending {
+				p.token++
+			}
+			p.armed = false
+			p.step(p)
+			if p.state == stateRunning {
+				p.state = stateSuspended // bare return = Park
+			}
+			continue
+		}
 		p.resume <- resumeMsg{} // buffered: hand off without blocking
 		return
 	}
@@ -257,6 +345,14 @@ func (k *Kernel) Close() {
 	k.closing = true
 	for _, p := range k.procs {
 		if p.state == stateDead {
+			continue
+		}
+		if p.step != nil {
+			// Handlers have no goroutine to unwind: retire in place.
+			p.state = stateDead
+			p.token++
+			p.doneWaiters = nil
+			k.live--
 			continue
 		}
 		p.resume <- resumeMsg{kill: true}

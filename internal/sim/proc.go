@@ -1,6 +1,9 @@
 package sim
 
-import "errors"
+import (
+	"errors"
+	"strconv"
+)
 
 type procState int
 
@@ -78,17 +81,28 @@ func (w *worker) run(p *Proc) {
 	p.fn(p)
 }
 
-// Proc is a simulated thread of control. Its methods must only be called
-// from its own goroutine while it is the running process, except where noted.
+// Proc is a simulated thread of control, in one of two flavors:
+//
+//   - goroutine procs (Spawn): fn is the whole process body, running on a
+//     pooled worker goroutine and blocking through Sleep/Suspend/Wait;
+//   - run-to-completion handlers (SpawnHandler): step is invoked inline on
+//     the dispatching goroutine at every activation and arms the next
+//     continuation explicitly (WakeIn, Park, Cond.Park, Complete, ...).
+//
+// Methods must only be called while the proc is the running process, except
+// where noted.
 type Proc struct {
-	k      *Kernel
-	id     int
-	name   string
-	fn     func(*Proc)
-	state  procState
-	w      *worker
-	resume chan resumeMsg // w.resume, cached to keep the hot path short
-	token  uint64
+	k       *Kernel
+	id      int
+	name    string // full name, or the prefix while nameIdx >= 0
+	nameIdx int    // lazy-name suffix; -1 once rendered (or when absent)
+	fn      func(*Proc)
+	step    func(*Proc) // handler step fn; nil for goroutine procs
+	state   procState
+	armed   bool // handler armed its continuation this activation
+	w       *worker
+	resume  chan resumeMsg // w.resume, cached to keep the hot path short
+	token   uint64
 
 	wakeups   int64 // times this process was dispatched
 	volSwitch int64 // voluntary context switches (blocking waits)
@@ -102,8 +116,18 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // ID returns the process's unique id (its spawn index).
 func (p *Proc) ID() int { return p.id }
 
-// Name returns the process name given at Spawn.
-func (p *Proc) Name() string { return p.name }
+// Name returns the process name. Lazily named procs (SpawnIdx) render and
+// cache prefix+idx on first call.
+func (p *Proc) Name() string {
+	if p.nameIdx >= 0 {
+		p.name += strconv.Itoa(p.nameIdx)
+		p.nameIdx = -1
+	}
+	return p.name
+}
+
+// Handler reports whether the proc is a run-to-completion handler.
+func (p *Proc) Handler() bool { return p.step != nil }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
@@ -151,8 +175,11 @@ func (p *Proc) finish() {
 // the next runnable process (or back to the Run caller). It returns when
 // this process is next dispatched.
 func (p *Proc) block(next procState, voluntary bool) {
+	if p.step != nil {
+		panic("sim: blocking call from run-to-completion handler " + p.Name())
+	}
 	if p.k.cur != p {
-		panic("sim: blocking call from process that is not running: " + p.name)
+		panic("sim: blocking call from process that is not running: " + p.Name())
 	}
 	p.state = next
 	if voluntary {
@@ -199,7 +226,7 @@ func (p *Proc) Suspend() {
 // a lost-wakeup bug in the caller.
 func (k *Kernel) Resume(target *Proc) {
 	if target.state != stateSuspended {
-		panic("sim: Resume of non-suspended process " + target.name + " in state " + target.state.String())
+		panic("sim: Resume of non-suspended process " + target.Name() + " in state " + target.state.String())
 	}
 	target.state = stateScheduled
 	k.schedule(k.now, target)
@@ -208,7 +235,7 @@ func (k *Kernel) Resume(target *Proc) {
 // ResumeAt schedules a suspended process to run at time at.
 func (k *Kernel) ResumeAt(target *Proc, at Time) {
 	if target.state != stateSuspended {
-		panic("sim: ResumeAt of non-suspended process " + target.name + " in state " + target.state.String())
+		panic("sim: ResumeAt of non-suspended process " + target.Name() + " in state " + target.state.String())
 	}
 	target.state = stateScheduled
 	k.schedule(at, target)

@@ -4,10 +4,17 @@ package sim
 // blocks; Get blocks the calling process until an item is available or the
 // queue is closed. Wake-ups use Mesa semantics: a woken getter re-checks for
 // items and re-waits if another process stole them.
+//
+// Items and waiters are head-indexed slices rather than [1:]-sliding ones:
+// sliding discards the backing array's head capacity, so a busy queue
+// reallocated on nearly every append. The head index drains in place and
+// resets to reuse the full array once empty — steady state allocates
+// nothing.
 type Queue[T any] struct {
 	k       *Kernel
 	items   []T
-	waiters []*Proc
+	ihead   int
+	waiters waitFIFO
 	closed  bool
 }
 
@@ -17,7 +24,7 @@ func NewQueue[T any](k *Kernel) *Queue[T] {
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.ihead }
 
 // Put appends x and wakes one waiting getter, if any.
 func (q *Queue[T]) Put(x T) {
@@ -33,14 +40,21 @@ func (q *Queue[T]) PutFront(x T) {
 	if q.closed {
 		panic("sim: PutFront on closed queue")
 	}
-	q.items = append([]T{x}, q.items...)
+	if q.ihead > 0 {
+		q.ihead--
+		q.items[q.ihead] = x
+	} else {
+		q.items = append([]T{x}, q.items...)
+	}
 	q.wakeOne()
 }
 
 func (q *Queue[T]) wakeOne() {
-	for len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	for {
+		w, ok := q.waiters.pop()
+		if !ok {
+			return
+		}
 		if w.state == stateSuspended {
 			q.k.Resume(w)
 			return
@@ -48,50 +62,127 @@ func (q *Queue[T]) wakeOne() {
 	}
 }
 
+func (q *Queue[T]) popItem() T {
+	x := q.items[q.ihead]
+	var zero T
+	q.items[q.ihead] = zero // release references for GC
+	q.ihead++
+	switch {
+	case q.ihead == len(q.items):
+		q.items = q.items[:0]
+		q.ihead = 0
+	case q.ihead > 32 && q.ihead*2 >= len(q.items):
+		// A queue that never fully drains would otherwise grow its backing
+		// array by the consumed prefix forever; compact once the dead half
+		// dominates (amortized O(1) per pop).
+		n := copy(q.items, q.items[q.ihead:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.ihead = 0
+	}
+	return x
+}
+
 // Get removes and returns the head item, blocking while the queue is empty.
 // The second result is false if the queue was closed and drained.
 func (q *Queue[T]) Get(p *Proc) (T, bool) {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		if q.closed {
 			var zero T
 			return zero, false
 		}
-		q.waiters = append(q.waiters, p)
+		q.waiters.push(p)
 		p.Suspend()
 	}
-	x := q.items[0]
-	q.items = q.items[1:]
-	return x, true
+	return q.popItem(), true
+}
+
+// GetOrPark is the handler analogue of Get — one Mesa iteration: it either
+// returns the head item (got true), reports the queue closed and drained
+// (closed true), or parks the handler on the waiter list exactly as one
+// pass of Get's wait loop would. A parked handler re-invokes GetOrPark when
+// it is next dispatched; another process may have stolen the item by then,
+// in which case it parks again (Mesa semantics).
+func (q *Queue[T]) GetOrPark(h *Proc) (x T, got bool, closed bool) {
+	if q.Len() == 0 {
+		if q.closed {
+			return x, false, true
+		}
+		q.waiters.push(h)
+		h.Park()
+		return x, false, false
+	}
+	return q.popItem(), true, false
 }
 
 // TryGet removes and returns the head item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		var zero T
 		return zero, false
 	}
-	x := q.items[0]
-	q.items = q.items[1:]
-	return x, true
+	return q.popItem(), true
 }
 
 // Close marks the queue closed and wakes all waiters; subsequent Gets drain
 // remaining items then report false.
 func (q *Queue[T]) Close() {
 	q.closed = true
-	for _, w := range q.waiters {
-		if w.state == stateSuspended {
-			q.k.Resume(w)
-		}
+	q.waiters.wakeAll(q.k)
+}
+
+// waitFIFO is a head-indexed FIFO of parked processes shared by the wait
+// primitives: pops drain in place and the backing array is reused once
+// empty, so steady-state park/wake cycles allocate nothing.
+type waitFIFO struct {
+	ps   []*Proc
+	head int
+}
+
+func (f *waitFIFO) push(p *Proc) { f.ps = append(f.ps, p) }
+
+func (f *waitFIFO) len() int { return len(f.ps) - f.head }
+
+func (f *waitFIFO) pop() (*Proc, bool) {
+	if f.head == len(f.ps) {
+		return nil, false
 	}
-	q.waiters = nil
+	p := f.ps[f.head]
+	f.ps[f.head] = nil
+	f.head++
+	switch {
+	case f.head == len(f.ps):
+		f.ps = f.ps[:0]
+		f.head = 0
+	case f.head > 32 && f.head*2 >= len(f.ps):
+		// Compact a never-empty waitlist so the consumed prefix cannot grow
+		// without bound (amortized O(1) per pop).
+		n := copy(f.ps, f.ps[f.head:])
+		clear(f.ps[n:])
+		f.ps = f.ps[:n]
+		f.head = 0
+	}
+	return p, true
+}
+
+// wakeAll resumes every suspended process in FIFO order and empties the
+// list.
+func (f *waitFIFO) wakeAll(k *Kernel) {
+	for i := f.head; i < len(f.ps); i++ {
+		if w := f.ps[i]; w.state == stateSuspended {
+			k.Resume(w)
+		}
+		f.ps[i] = nil
+	}
+	f.ps = f.ps[:0]
+	f.head = 0
 }
 
 // Cond is a condition variable for processes. As with sync.Cond, the
 // condition itself lives in caller state; Wait must be used in a loop.
 type Cond struct {
 	k       *Kernel
-	waiters []*Proc
+	waiters waitFIFO
 }
 
 // NewCond returns a condition variable on kernel k.
@@ -99,15 +190,27 @@ func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
 
 // Wait blocks the calling process until Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters.push(p)
 	p.Suspend()
+}
+
+// Park is the handler analogue of Wait: it appends the running handler to
+// the waiter list and leaves it suspended, exactly as one Wait call would.
+// Signal/Broadcast wake parked handlers and blocked goroutine procs alike;
+// a woken handler re-checks its condition at the next activation and parks
+// again if it does not hold (Mesa semantics, same as a Wait loop).
+func (c *Cond) Park(h *Proc) {
+	c.waiters.push(h)
+	h.Park()
 }
 
 // Signal wakes one waiting process, if any.
 func (c *Cond) Signal() {
-	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for {
+		w, ok := c.waiters.pop()
+		if !ok {
+			return
+		}
 		if w.state == stateSuspended {
 			c.k.Resume(w)
 			return
@@ -120,24 +223,18 @@ func (c *Cond) Signal() {
 // progress (e.g. n queued commands can occupy at most n service workers);
 // the rest stay parked instead of paying a futile dispatch each.
 func (c *Cond) SignalN(n int) {
-	for ; n > 0 && len(c.waiters) > 0; n-- {
+	for ; n > 0 && c.waiters.len() > 0; n-- {
 		c.Signal()
 	}
 }
 
 // Broadcast wakes every waiting process.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		if w.state == stateSuspended {
-			c.k.Resume(w)
-		}
-	}
+	c.waiters.wakeAll(c.k)
 }
 
 // Waiters returns the number of processes currently parked on the condition.
-func (c *Cond) Waiters() int { return len(c.waiters) }
+func (c *Cond) Waiters() int { return c.waiters.len() }
 
 // Semaphore is a counting semaphore, useful for modelling slot-limited
 // resources such as command-queue entries or a DMA bus.
@@ -171,6 +268,24 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 		p.Suspend()
 	}
 	s.avail -= n
+}
+
+// AcquireOrPark is the handler analogue of Acquire — one Mesa iteration: it
+// either takes the n slots (true) or appends the handler to the waiter list
+// and parks it (false), exactly as one pass of Acquire's wait loop would. A
+// parked handler retries when next dispatched; Release wakes handlers and
+// goroutine waiters alike.
+func (s *Semaphore) AcquireOrPark(h *Proc, n int) bool {
+	if n > s.cap {
+		panic("sim: Acquire exceeds semaphore capacity")
+	}
+	if s.avail < n {
+		s.waiters = append(s.waiters, semWaiter{p: h, n: n})
+		h.Park()
+		return false
+	}
+	s.avail -= n
+	return true
 }
 
 // TryAcquire takes n slots without blocking, reporting success.

@@ -45,12 +45,32 @@ func (t *Trace) record(e event) {
 	h = fnvUint64(h, uint64(e.at))
 	h = fnvUint64(h, e.seq)
 	h = fnvUint64(h, uint64(e.p.id))
+	// Fold the proc name without forcing a lazy prefix+idx name to render:
+	// hash the prefix bytes then the decimal digits, which is byte-identical
+	// to hashing the rendered string.
 	for i := 0; i < len(e.p.name); i++ {
 		h = (h ^ uint64(e.p.name[i])) * fnvPrime64
 	}
+	if e.p.nameIdx >= 0 {
+		var digits [20]byte
+		n := len(digits)
+		v := e.p.nameIdx
+		if v == 0 {
+			n--
+			digits[n] = '0'
+		}
+		for v > 0 {
+			n--
+			digits[n] = byte('0' + v%10)
+			v /= 10
+		}
+		for _, b := range digits[n:] {
+			h = (h ^ uint64(b)) * fnvPrime64
+		}
+	}
 	t.hash = h
 	if t.keep {
-		t.recs = append(t.recs, TraceRec{At: e.at, Seq: e.seq, Proc: e.p.id, Name: e.p.name})
+		t.recs = append(t.recs, TraceRec{At: e.at, Seq: e.seq, Proc: e.p.id, Name: e.p.Name()})
 	}
 }
 

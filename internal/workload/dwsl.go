@@ -45,7 +45,7 @@ func DWSL(k *sim.Kernel, s *core.Stack, cfg DWSLConfig) DWSLResult {
 	measuring := false
 	for t := 0; t < cfg.Threads; t++ {
 		t := t
-		k.Spawn(fmt.Sprintf("dwsl/%d", t), func(p *sim.Proc) {
+		k.SpawnIdx("dwsl/", t, func(p *sim.Proc) {
 			f, err := s.FS.Create(p, s.FS.Root(), fmt.Sprintf("dwsl-%d.dat", t))
 			if err != nil {
 				panic(err)

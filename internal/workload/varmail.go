@@ -58,7 +58,7 @@ func Varmail(k *sim.Kernel, s *core.Stack, cfg VarmailConfig) VarmailResult {
 	}
 	for t := 0; t < cfg.Threads; t++ {
 		t := t
-		k.Spawn(fmt.Sprintf("varmail/%d", t), func(p *sim.Proc) {
+		k.SpawnIdx("varmail/", t, func(p *sim.Proc) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)))
 			dir, err := s.FS.Mkdir(p, s.FS.Root(), fmt.Sprintf("mbox%d", t))
 			if err != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/kvwal"
+	"repro/internal/nand"
 	"repro/internal/oltp"
 	"repro/internal/sim"
 	"repro/internal/sqlmini"
@@ -60,6 +61,49 @@ func goldenCases() []goldenCase {
 		{"kvwal/BFS-MQ-groupcommit", func(k *sim.Kernel) {
 			s := core.NewStack(k, core.BFSMQ(device.NVMeSSD()))
 			kvwal.Bench(k, s, kvwal.DefaultBenchConfig(4), short)
+		}},
+		// pdflush coverage: an app that only dirties pages, so every
+		// writeback is the pdflush daemon's, including its congestion parks.
+		{"pdflush/EXT4-OD-buffered", func(k *sim.Kernel) {
+			prof := core.EXT4OD(device.UFS())
+			prof.FS.PdflushInterval = 300 * sim.Microsecond
+			s := core.NewStack(k, prof)
+			k.Spawn("app", func(p *sim.Proc) {
+				f, err := s.FS.Create(p, s.FS.Root(), "dirty.dat")
+				if err != nil {
+					panic(err)
+				}
+				for i := 0; ; i++ {
+					s.FS.Write(p, f, int64(i%512))
+					if i%64 == 63 {
+						p.Sleep(50 * sim.Microsecond)
+					}
+				}
+			})
+			k.RunUntil(sim.Time(short))
+		}},
+		// GC + OptFS delayed-flush coverage: a deliberately tiny, fast array
+		// so the log wraps within the run and the GC/erase machinery and the
+		// delayed-durability timer both fire.
+		{"gc/OptFS-tinydev", func(k *sim.Kernel) {
+			cfg := device.Config{
+				Name: "tiny", QueueDepth: 8, CachePages: 64,
+				BarrierSupport: true,
+				DMAPerPage:     sim.Microsecond,
+				CmdOverhead:    sim.Microsecond,
+				Geometry: nand.Geometry{Channels: 2, WaysPerChannel: 2,
+					BlocksPerChip: 6, PagesPerBlock: 16, PageSize: 4096},
+				Timing: nand.Timing{Program: 4 * sim.Microsecond, Read: 2 * sim.Microsecond,
+					Erase: 8 * sim.Microsecond, BusXfer: sim.Microsecond},
+			}
+			prof := core.OptFS(cfg)
+			prof.FS.Journal.Pages = 128
+			prof.FS.Journal.CheckpointLow = 32
+			prof.FS.Journal.FlushInterval = 2 * sim.Millisecond
+			s := core.NewStack(k, prof)
+			wcfg := workload.DefaultRandWrite(workload.PolicyB)
+			wcfg.Duration, wcfg.Warmup, wcfg.FilePages = 24*sim.Millisecond, 6*sim.Millisecond, 32
+			workload.RandWrite(k, s, wcfg)
 		}},
 	}
 }
