@@ -8,6 +8,13 @@
 //
 //	benchdiff -bench BenchmarkKV -metric ns/op -threshold 15 old.txt new.txt
 //
+// -gate-allocs additionally gates allocs/op (off by default): the
+// steady-state command path is allocation-free by design, so CI can
+// tighten the allocation wins once the baseline artifact carries
+// -benchmem numbers. Allocation counts are exact and noise-free, so the
+// allocs gate supports a much tighter threshold (-allocs-threshold,
+// default 1%).
+//
 // Benchmarks present in only one file are reported and ignored by the
 // gate. A missing or empty baseline file reports and exits 0, so the first
 // run of a new pipeline cannot fail.
@@ -17,7 +24,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -54,49 +63,100 @@ func parse(path, prefix, metric string) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
+// gate compares one metric across the two files and reports whether any
+// benchmark regressed beyond the threshold. A missing baseline for the
+// metric reports and passes (first runs and baselines without -benchmem
+// cannot fail). Benchmark-set mismatches are metric-independent, so only
+// the first gate of a run prints them (reportSets).
+func gate(oldPath, newPath, bench, metric string, threshold float64, reportSets bool) bool {
+	old, err := parse(oldPath, bench, metric)
+	if err != nil || len(old) == 0 {
+		fmt.Printf("benchdiff: no baseline %s %s in %s (%v) — report-only run\n",
+			bench, metric, oldPath, err)
+		return false
+	}
+	cur, err := parse(newPath, bench, metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading %s: %v\n", newPath, err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		// The baseline carries this metric but the new run does not (e.g.
+		// -benchmem dropped from the bench step): the gate cannot compare
+		// anything, and silence would read as a pass. Say so.
+		fmt.Printf("benchdiff: baseline has %s %s but %s has none — gate disarmed, check the bench invocation\n",
+			bench, metric, newPath)
+		return false
+	}
+	failed := false
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ov := old[name]
+		nv, ok := cur[name]
+		if !ok {
+			if reportSets {
+				fmt.Printf("%-45s baseline-only (%.0f %s)\n", name, ov, metric)
+			}
+			continue
+		}
+		delta := 0.0
+		regressed := false
+		if ov != 0 {
+			delta = (nv - ov) / ov * 100
+			regressed = delta > threshold
+		} else if nv > 0 {
+			// A zero baseline regressing to nonzero is an unbounded-percent
+			// regression (e.g. an allocation-free path now allocating): it
+			// fails regardless of the threshold.
+			delta = math.Inf(1)
+			regressed = true
+		}
+		mark := "ok"
+		if regressed {
+			mark = fmt.Sprintf("REGRESSION (> %.0f%%)", threshold)
+			failed = true
+		}
+		fmt.Printf("%-45s %14.0f -> %14.0f %s  %+7.1f%%  %s\n",
+			name, ov, nv, metric, delta, mark)
+	}
+	if reportSets {
+		added := make([]string, 0, len(cur))
+		for name := range cur {
+			if _, ok := old[name]; !ok {
+				added = append(added, name)
+			}
+		}
+		sort.Strings(added)
+		for _, name := range added {
+			fmt.Printf("%-45s new benchmark (%.0f %s)\n", name, cur[name], metric)
+		}
+	}
+	if failed {
+		fmt.Printf("benchdiff: %s %s regressed beyond %.0f%%\n", bench, metric, threshold)
+	}
+	return failed
+}
+
 func main() {
 	bench := flag.String("bench", "BenchmarkKV", "benchmark name prefix to compare")
 	metric := flag.String("metric", "ns/op", "metric unit to compare")
 	threshold := flag.Float64("threshold", 15, "max regression percent before failing")
+	gateAllocs := flag.Bool("gate-allocs", false, "additionally gate allocs/op")
+	allocsThreshold := flag.Float64("allocs-threshold", 1, "max allocs/op regression percent before failing (with -gate-allocs)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.txt new.txt")
 		os.Exit(2)
 	}
-	old, err := parse(flag.Arg(0), *bench, *metric)
-	if err != nil || len(old) == 0 {
-		fmt.Printf("benchdiff: no baseline %s %s in %s (%v) — report-only run\n",
-			*bench, *metric, flag.Arg(0), err)
-		return
-	}
-	cur, err := parse(flag.Arg(1), *bench, *metric)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: reading %s: %v\n", flag.Arg(1), err)
-		os.Exit(2)
-	}
-	failed := false
-	for name, ov := range old {
-		nv, ok := cur[name]
-		if !ok {
-			fmt.Printf("%-45s baseline-only (%.0f %s)\n", name, ov, *metric)
-			continue
-		}
-		delta := (nv - ov) / ov * 100
-		mark := "ok"
-		if delta > *threshold {
-			mark = fmt.Sprintf("REGRESSION (> %.0f%%)", *threshold)
-			failed = true
-		}
-		fmt.Printf("%-45s %14.0f -> %14.0f %s  %+7.1f%%  %s\n",
-			name, ov, nv, *metric, delta, mark)
-	}
-	for name, nv := range cur {
-		if _, ok := old[name]; !ok {
-			fmt.Printf("%-45s new benchmark (%.0f %s)\n", name, nv, *metric)
-		}
+	failed := gate(flag.Arg(0), flag.Arg(1), *bench, *metric, *threshold, true)
+	if *gateAllocs {
+		failed = gate(flag.Arg(0), flag.Arg(1), *bench, "allocs/op", *allocsThreshold, false) || failed
 	}
 	if failed {
-		fmt.Printf("benchdiff: %s %s regressed beyond %.0f%%\n", *bench, *metric, *threshold)
 		os.Exit(1)
 	}
 }

@@ -154,6 +154,23 @@ func mqJSON(r experiments.MQScalingResult) []map[string]any {
 	return rows
 }
 
+func crashmcJSON(r experiments.CrashMCResult) []map[string]any {
+	rows := make([]map[string]any, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, map[string]any{
+			"config": row.Config, "crash_at_us": row.CrashAtUs,
+			"volatile": row.Volatile, "streams": row.Streams,
+			"states_explored": row.States, "images_checked": row.Images,
+			"capped": row.Capped, "sampled": row.Sampled,
+			"durability_violations":  row.Durability,
+			"ordering_violations":    row.Ordering,
+			"consistency_violations": row.Consistency,
+			"violation_states":       row.ViolationStates,
+		})
+	}
+	return rows
+}
+
 func kvJSON(r experiments.KVResult) []map[string]any {
 	rows := make([]map[string]any, 0, len(r.Rows)+len(r.Crash))
 	for _, row := range r.Rows {

@@ -7,11 +7,14 @@
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof] [experiment ...]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mq kv crash all. With no arguments, runs `all`. The `mq` experiment is
-// the multi-queue scaling table (per-stream epochs vs the global total
-// order) added on top of the paper's evaluation; `kv` is the barrier-
-// enabled key-value store (internal/kvwal): group-commit throughput and
-// latency across stacks plus its crash-consistency sweep.
+// mq kv crash crashmc all. With no arguments, runs `all`. The `mq`
+// experiment is the multi-queue scaling table (per-stream epochs vs the
+// global total order) added on top of the paper's evaluation; `kv` is the
+// barrier-enabled key-value store (internal/kvwal): group-commit
+// throughput and latency across stacks plus its crash-consistency sweep;
+// `crashmc` is the crash-state model checker (internal/crashmc):
+// states-explored and violation counts per stack configuration, with
+// EXT4-nobarrier's reachable ordering violations as the positive control.
 //
 // Independent sweep cells run one simulation kernel per CPU (disable with
 // -parallel=false, e.g. when profiling a single kernel). -json emits the
@@ -90,6 +93,10 @@ var runners = []runner{
 	}},
 	{"crash", func(s experiments.Scale) (string, []map[string]any) {
 		return crashReport(s)
+	}},
+	{"crashmc", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.CrashMC(s)
+		return r.String(), crashmcJSON(r)
 	}},
 }
 

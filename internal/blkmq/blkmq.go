@@ -20,6 +20,8 @@
 package blkmq
 
 import (
+	"sort"
+
 	"repro/internal/block"
 	"repro/internal/device"
 	"repro/internal/sim"
@@ -169,6 +171,21 @@ func (m *MQ) Reassigned() int64 {
 		n += st.sched.Reassigned()
 	}
 	return n
+}
+
+// Streams returns the ids of every stream opened so far, ascending. Stream
+// 0 is the ordered/journal domain; data streams appear once spreading has
+// routed background writeback onto them. Together with StreamEpoch this
+// describes the layer's per-stream ordering state, e.g. for correlating a
+// crash-time device capture (device.CaptureConstraints) with the streams
+// the layer actually opened.
+func (m *MQ) Streams() []uint64 {
+	out := make([]uint64, 0, len(m.streams))
+	for id := range m.streams {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // StreamEpoch returns the epoch a stream's scheduler is currently

@@ -238,6 +238,66 @@ func TestMQSpreadOrderless(t *testing.T) {
 	}
 }
 
+// TestMQStreamsMatchesDeviceCapture spreads background writeback, then
+// checks the Streams() accessor against both the dispatch trace and the
+// device's crash-time constraint capture: every stream the device saw a
+// volatile write on must be a stream the layer reports as open.
+func TestMQStreamsMatchesDeviceCapture(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	m := New(k, testDevice(k), Config{
+		HWQueues:        4,
+		SpreadOrderless: true,
+		Trace:           true,
+	})
+	k.Spawn("host", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			r := background(0, uint64(i))
+			r.PID = i
+			m.Submit(p, r)
+		}
+		m.Submit(p, ordered(0, 100))
+	})
+	// Capture mid-flight — after the transfers, before the NAND programs
+	// retire the cache — so the volatile set is non-empty and the
+	// cross-check below is real.
+	k.RunUntil(sim.Time(100 * sim.Microsecond))
+	cons := m.Device().CaptureConstraints()
+	if len(cons.Writes) == 0 {
+		t.Fatal("expected volatile writes at the capture instant")
+	}
+	k.Run()
+	streams := m.Streams()
+	if len(streams) < 2 {
+		t.Fatalf("Streams() = %v, want stream 0 plus data streams", streams)
+	}
+	open := map[uint64]bool{}
+	for i, id := range streams {
+		open[id] = true
+		if i > 0 && streams[i-1] >= id {
+			t.Fatalf("Streams() not ascending: %v", streams)
+		}
+	}
+	if !open[0] {
+		t.Errorf("Streams() = %v, missing the ordered domain 0", streams)
+	}
+	for _, rec := range m.DispatchLog() {
+		if !open[rec.Stream] {
+			t.Errorf("dispatched on stream %d not reported by Streams()", rec.Stream)
+		}
+	}
+	captured := map[uint64]bool{}
+	for _, w := range cons.Writes {
+		captured[w.Stream] = true
+		if !open[w.Stream] {
+			t.Errorf("volatile write on stream %d not reported by Streams()", w.Stream)
+		}
+	}
+	if len(captured) < 2 {
+		t.Errorf("capture saw %d streams, want the spread data streams too", len(captured))
+	}
+}
+
 // TestMQBarrierDoesNotStallOtherStream pins down the concurrency win
 // structurally: while stream 0 is stalled behind a closed epoch, stream 1
 // keeps dispatching.

@@ -1,0 +1,103 @@
+package crashmc
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// runEnum enumerates and returns (visited cut keys sorted, capped).
+func runEnum(n int, preds [][]int, max int) ([]string, bool) {
+	var keys []string
+	seen, capped := enumerate(n, preds, max, func(cut bitset) {
+		keys = append(keys, cut.key())
+	})
+	if len(keys) != len(seen) {
+		panic("visit count != seen size")
+	}
+	sort.Strings(keys)
+	return keys, capped
+}
+
+func TestEnumerateChain(t *testing.T) {
+	// 0 -> 1 -> 2: ideals are the four prefixes.
+	keys, capped := runEnum(3, [][]int{nil, {0}, {1}}, 1<<10)
+	if capped || len(keys) != 4 {
+		t.Fatalf("chain: got %d ideals (capped=%v), want 4", len(keys), capped)
+	}
+}
+
+func TestEnumerateAntichain(t *testing.T) {
+	// No edges: every subset is admissible.
+	keys, capped := runEnum(3, [][]int{nil, nil, nil}, 1<<10)
+	if capped || len(keys) != 8 {
+		t.Fatalf("antichain: got %d ideals (capped=%v), want 8", len(keys), capped)
+	}
+}
+
+func TestEnumerateTwoStreams(t *testing.T) {
+	// Two independent chains of two: 3 ideals each, 9 combined.
+	keys, capped := runEnum(4, [][]int{nil, {0}, nil, {2}}, 1<<10)
+	if capped || len(keys) != 9 {
+		t.Fatalf("two chains: got %d ideals (capped=%v), want 9", len(keys), capped)
+	}
+}
+
+func TestEnumerateEpochGroups(t *testing.T) {
+	// Group {0,1} before group {2,3}: a member of the second group requires
+	// the whole first group. Ideals: subsets of {0,1} (4) plus full {0,1}
+	// with nonempty subsets of {2,3} (3) = 7.
+	preds := [][]int{nil, nil, {0, 1}, {0, 1}}
+	keys, capped := runEnum(4, preds, 1<<10)
+	if capped || len(keys) != 7 {
+		t.Fatalf("epoch groups: got %d ideals (capped=%v), want 7", len(keys), capped)
+	}
+}
+
+func TestEnumerateCapAndSampleDeterministic(t *testing.T) {
+	// A 16-wide antichain has 65536 ideals; a 100-state cap must trip and
+	// the sampling fallback must be deterministic across runs.
+	n := 16
+	preds := make([][]int, n)
+	run := func() []string {
+		var keys []string
+		seen, capped := enumerate(n, preds, 100, func(cut bitset) { keys = append(keys, cut.key()) })
+		if !capped {
+			t.Fatal("expected the cap to trip")
+		}
+		if len(seen) != 100 {
+			t.Fatalf("seen %d states, want exactly the 100-state cap", len(seen))
+		}
+		added := sample(n, preds, 50, 7, seen, func(cut bitset) { keys = append(keys, cut.key()) })
+		if added == 0 {
+			t.Fatal("sampling reached no new states")
+		}
+		for _, k := range keys {
+			if len(k) != 8*((n+63)/64) {
+				t.Fatalf("malformed key length %d", len(k))
+			}
+		}
+		return keys
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("enumeration + sampling not deterministic across runs")
+	}
+}
+
+func TestSampleIncludesFullClosure(t *testing.T) {
+	n := 4
+	preds := [][]int{nil, {0}, {1}, {2}}
+	seen := map[string]struct{}{}
+	var first bitset
+	sample(n, preds, 1, 1, seen, func(cut bitset) {
+		if first == nil {
+			first = cut.clone()
+		}
+	})
+	for i := 0; i < n; i++ {
+		if !first.has(i) {
+			t.Fatalf("first sampled cut must be the full closure; index %d missing", i)
+		}
+	}
+}

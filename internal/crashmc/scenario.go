@@ -1,0 +1,215 @@
+package crashmc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/jbd"
+	"repro/internal/kvwal"
+	"repro/internal/sim"
+)
+
+// Scenario harnesses: drive a workload on a live stack to the crash
+// instant, capture the device's persistence constraints, recover the
+// durable base, and model-check every admissible crash state.
+//
+// Callers that need exhaustive enumeration on unconstrained (nobarrier)
+// profiles should bound the workload (Config.Writes) and shrink the
+// journal window in the profile (jbd scan cost is paid once per candidate
+// image).
+
+// OrderingPages is the file size (in pages) of the ordering scenario;
+// page 0 is left untouched as a recovery anchor.
+const OrderingPages = 4
+
+// CompactJournal shrinks a profile's journal window to pages slots (with
+// a proportional checkpoint low-water mark). Every candidate image pays
+// one full journal-window scan during replay, so model-checking workloads
+// want the window sized to the workload rather than the 8192-page
+// default. The canonical ordering scenarios use 128; kv workloads need a
+// few hundred.
+func CompactJournal(prof core.Profile, pages int) core.Profile {
+	prof.FS.Journal.Pages = pages
+	prof.FS.Journal.CheckpointLow = pages / 16
+	return prof
+}
+
+// OrderingWorkload is a handle on the §4.1 barrier-ordering codelet. The
+// same driver backs crashmc.OrderingScenario and crashtest.OrderingTrial,
+// so the sampled trials and the model checker audit the identical
+// workload history.
+type OrderingWorkload struct {
+	File string
+	// Pages is the file size; page 0 is an untouched recovery anchor.
+	Pages int64
+	// Synced records the page versions acknowledged by the preallocation
+	// fsync; Issued records the barrier-separated overwrites in order.
+	Synced []AckedWrite
+	Issued []IssuedWrite
+}
+
+// SpawnOrderingWorkload starts the §4.1 codelet on a live stack:
+// preallocate pages 0..pages-1 of a file, fsync (recording acknowledged
+// versions), then overwrite pages 1..pages-1 round-robin with an
+// fdatabarrier between consecutive writes, recording issue order. writes
+// bounds the overwrites (0 = keep writing until the crash); bounding
+// keeps an unconstrained (nobarrier) state space exhaustively enumerable.
+func SpawnOrderingWorkload(k *sim.Kernel, s *core.Stack, pages int64, writes int) *OrderingWorkload {
+	w := &OrderingWorkload{File: "ordered.dat", Pages: pages}
+	k.Spawn("writer", func(p *sim.Proc) {
+		f, err := s.FS.Create(p, s.FS.Root(), w.File)
+		if err != nil {
+			panic(err)
+		}
+		for i := int64(0); i < pages; i++ {
+			s.FS.Write(p, f, i)
+		}
+		s.FS.Fsync(p, f)
+		for i := int64(0); i < pages; i++ {
+			ver, _ := s.FS.Read(p, f, i)
+			w.Synced = append(w.Synced, AckedWrite{Idx: i, Ver: ver})
+		}
+		for n := int64(0); ; n++ {
+			if writes > 0 && n == int64(writes) {
+				for {
+					p.Suspend() // workload bounded: idle until the crash
+				}
+			}
+			idx := 1 + n%(pages-1)
+			s.FS.Write(p, f, idx)
+			ver, _ := s.FS.Read(p, f, idx)
+			w.Issued = append(w.Issued, IssuedWrite{Page: idx, Ver: ver})
+			s.FS.Fdatabarrier(p, f)
+		}
+	})
+	return w
+}
+
+// Checkers returns the workload's invariant auditors: fsync durability of
+// the preallocation, barrier ordering of the overwrites, journal-replay
+// reach and fs metadata consistency.
+func (w *OrderingWorkload) Checkers(s *core.Stack) []Checker {
+	return []Checker{
+		&DurabilityChecker{FS: s.FS, File: w.File, Synced: w.Synced},
+		&OrderingChecker{FS: s.FS, File: w.File, Pages: w.Pages, Issued: w.Issued},
+		&JournalChecker{J: s.FS.Journal()},
+		&FSChecker{FS: s.FS},
+	}
+}
+
+// OrderingScenario is the §4.1 codelet under the model checker: it drives
+// SpawnOrderingWorkload to the crash instant and audits the workload's
+// checkers across every admissible crash state.
+func OrderingScenario(prof core.Profile, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	k := sim.NewKernel()
+	s := core.NewStack(k, prof)
+	w := SpawnOrderingWorkload(k, s, OrderingPages, cfg.Writes)
+	k.RunUntil(cfg.CrashAt)
+	cons := s.Dev.CaptureConstraints()
+	s.Crash()
+	base := recoverBase(k, s)
+	defer k.Close()
+
+	res := ModelCheck(cons, base, prof.FS.Journal, w.Checkers(s), cfg)
+	res.Profile = prof.Name
+	res.CrashAt = cfg.CrashAt
+	return res
+}
+
+// KVWorkload is a handle on the canonical kvwal crash workload. The same
+// driver backs crashmc.KVScenario and crashtest.KVTrial, so the sampled
+// trials and the model checker audit the identical workload history.
+type KVWorkload struct {
+	st *kvwal.Store
+}
+
+// Store returns the opened store, or nil while (or if) the crash landed
+// inside Open — in which case nothing was ever acknowledged and every
+// recovered image is trivially consistent.
+func (w *KVWorkload) Store() *kvwal.Store { return w.st }
+
+// SpawnKVWorkload starts the canonical kv crash workload on a live stack:
+// an opener plus `clients` concurrent committers applying small random
+// batches (fixed per-client seeds; 15% deletes over a 512-key space).
+func SpawnKVWorkload(k *sim.Kernel, s *core.Stack, clients int) *KVWorkload {
+	w := &KVWorkload{}
+	k.Spawn("kv/setup", func(p *sim.Proc) {
+		cfg := kvwal.Config{WALPages: 128, MemtableCap: 32, CompactFanIn: 3, CheckpointEvery: 8}
+		st, err := kvwal.Open(p, s, cfg)
+		if err != nil {
+			panic(err)
+		}
+		w.st = st
+	})
+	for c := 0; c < clients; c++ {
+		c := c
+		k.SpawnIdx("kv/client", c, func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(int64(41 + c)))
+			for w.st == nil {
+				p.Sleep(sim.Millisecond)
+			}
+			for {
+				ops := make([]kvwal.Op, 3)
+				for i := range ops {
+					kind := kvwal.Put
+					if rng.Intn(100) < 15 {
+						kind = kvwal.Delete
+					}
+					ops[i] = kvwal.Op{Kind: kind, Key: fmt.Sprintf("k%04d", rng.Intn(512))}
+				}
+				w.st.Apply(p, ops)
+			}
+		})
+	}
+	return w
+}
+
+// KVScenario drives the kvwal store with concurrent committing clients
+// (the crashtest.KVTrial workload, via the shared SpawnKVWorkload driver)
+// and model-checks the store's durability/prefix-ordering audit plus the
+// journal and fs invariants across every admissible crash state at the
+// crash instant.
+func KVScenario(prof core.Profile, clients int, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	k := sim.NewKernel()
+	s := core.NewStack(k, prof)
+	w := SpawnKVWorkload(k, s, clients)
+	k.RunUntil(cfg.CrashAt)
+	cons := s.Dev.CaptureConstraints()
+	s.Crash()
+	st := w.Store()
+	if st == nil {
+		// The crash landed inside Open: nothing was ever acknowledged, so
+		// every admissible state is trivially consistent.
+		k.Close()
+		return Result{Profile: prof.Name, CrashAt: cfg.CrashAt}
+	}
+	base := recoverBase(k, s)
+	defer k.Close()
+
+	checkers := []Checker{
+		&KVChecker{Store: st},
+		&JournalChecker{J: s.FS.Journal()},
+		&FSChecker{FS: s.FS},
+	}
+	res := ModelCheck(cons, base, prof.FS.Journal, checkers, cfg)
+	res.Profile = prof.Name
+	res.CrashAt = cfg.CrashAt
+	return res
+}
+
+// recoverBase powers the crashed device back on (FTL mount-time recovery)
+// and returns its durable read function: the base image every candidate
+// cut overlays.
+func recoverBase(k *sim.Kernel, s *core.Stack) jbd.ReadFn {
+	var base jbd.ReadFn
+	k.Spawn("recover", func(p *sim.Proc) {
+		d2 := device.Recover(p, s.Dev)
+		base = d2.DurableData
+	})
+	k.Run()
+	return base
+}

@@ -10,12 +10,17 @@
 // The checker drives a workload on a live stack, crashes the device at a
 // chosen virtual time, runs device + filesystem recovery, and audits the
 // recovered image against the host-side history.
+//
+// The audits are the internal/crashmc Checkers applied to the one persisted
+// state the simulator produced: a trial is the sampled, single-state form of
+// the same invariants the model checker proves over every admissible state.
 package crashtest
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/crashmc"
 	"repro/internal/fs"
 	"repro/internal/par"
 	"repro/internal/sim"
@@ -23,23 +28,50 @@ import (
 
 // Report is the outcome of one crash trial.
 type Report struct {
-	CrashAt          sim.Time
-	SyncedOps        int // operations fsync-acknowledged before the crash
-	DurabilityErrors []string
-	OrderingErrors   []string
-	RecoveredTxns    int
+	CrashAt           sim.Time
+	SyncedOps         int // operations fsync-acknowledged before the crash
+	DurabilityErrors  []string
+	OrderingErrors    []string
+	ConsistencyErrors []string
+	RecoveredTxns     int
 }
 
 // Ok reports whether the trial found no violations.
-func (r Report) Ok() bool { return len(r.DurabilityErrors) == 0 && len(r.OrderingErrors) == 0 }
+func (r Report) Ok() bool {
+	return len(r.DurabilityErrors) == 0 && len(r.OrderingErrors) == 0 && len(r.ConsistencyErrors) == 0
+}
 
 func (r Report) String() string {
 	status := "OK"
 	if !r.Ok() {
-		status = fmt.Sprintf("FAIL (%d durability, %d ordering)",
+		status = fmt.Sprintf("FAIL (%d durability, %d ordering",
 			len(r.DurabilityErrors), len(r.OrderingErrors))
+		if n := len(r.ConsistencyErrors); n > 0 {
+			status += fmt.Sprintf(", %d consistency", n)
+		}
+		status += ")"
 	}
 	return fmt.Sprintf("crash@%v synced=%d txns=%d %s", r.CrashAt, r.SyncedOps, r.RecoveredTxns, status)
+}
+
+// apply runs one checker against the trial's single recovered state and
+// folds the violations into the report by kind.
+func (r *Report) apply(c crashmc.Checker, view *fs.View) {
+	r.fold(c.Check(&crashmc.State{View: view, ID: "sampled"}))
+}
+
+// fold buckets violations into the report by kind.
+func (r *Report) fold(vs []crashmc.Violation) {
+	for _, v := range vs {
+		switch v.Kind {
+		case crashmc.KindOrdering:
+			r.OrderingErrors = append(r.OrderingErrors, v.Detail)
+		case crashmc.KindConsistency:
+			r.ConsistencyErrors = append(r.ConsistencyErrors, v.Detail)
+		default:
+			r.DurabilityErrors = append(r.DurabilityErrors, v.Detail)
+		}
+	}
 }
 
 // DurabilityTrial writes pages to a file, fsyncing each, then crashes at
@@ -47,23 +79,17 @@ func (r Report) String() string {
 func DurabilityTrial(prof core.Profile, crashAt sim.Time) Report {
 	k := sim.NewKernel()
 	s := core.NewStack(k, prof)
-	type acked struct {
-		idx int64
-		ver int64
-	}
-	var synced []acked
-	var file *fs.Inode
+	var synced []crashmc.AckedWrite
 	k.Spawn("writer", func(p *sim.Proc) {
 		f, err := s.FS.Create(p, s.FS.Root(), "durable.dat")
 		if err != nil {
 			panic(err)
 		}
-		file = f
 		for i := int64(0); ; i++ {
 			s.FS.Write(p, f, i)
 			s.FS.Fsync(p, f)
 			ver, _ := s.FS.Read(p, f, i)
-			synced = append(synced, acked{idx: i, ver: ver})
+			synced = append(synced, crashmc.AckedWrite{Idx: i, Ver: ver})
 		}
 	})
 	k.RunUntil(crashAt)
@@ -80,62 +106,25 @@ func DurabilityTrial(prof core.Profile, crashAt sim.Time) Report {
 	if len(synced) == 0 {
 		return rep
 	}
-	root, ok := view.Root(s.FS)
-	if !ok {
-		rep.DurabilityErrors = append(rep.DurabilityErrors, "root directory unrecoverable")
-		return rep
-	}
-	meta, ok := view.Lookup(root, "durable.dat")
-	if !ok {
-		rep.DurabilityErrors = append(rep.DurabilityErrors,
-			fmt.Sprintf("file lost despite %d fsyncs", len(synced)))
-		return rep
-	}
-	_ = file
-	for _, a := range synced {
-		got, ok := view.PageVersion(meta, a.idx)
-		if !ok || got < a.ver {
-			rep.DurabilityErrors = append(rep.DurabilityErrors,
-				fmt.Sprintf("page %d: fsynced v%d, recovered v%d (present=%v)", a.idx, a.ver, got, ok))
-		}
-	}
+	rep.apply(&crashmc.DurabilityChecker{FS: s.FS, File: "durable.dat", Synced: synced}, view)
 	return rep
 }
 
-// OrderingTrial is the paper's "Hello"/"World" codelet (§4.1) at scale: a
-// preallocated file is made durable, then overwritten round-robin with an
-// fdatabarrier between consecutive writes. After a crash, the recovered
-// image must correspond to a *prefix* of the write sequence: writing wk
-// after wj with a barrier between them means wk durable implies wj durable
-// (unless a later surviving write superseded wj's page).
+// OrderingTrial is the paper's "Hello"/"World" codelet (§4.1) at scale,
+// via the shared crashmc.SpawnOrderingWorkload driver (the same workload
+// the model checker enumerates exhaustively): a preallocated file is made
+// durable, then overwritten round-robin with an fdatabarrier between
+// consecutive writes. After a crash, the recovered image must correspond
+// to a *prefix* of the write sequence: writing wk after wj with a barrier
+// between them means wk durable implies wj durable (unless a later
+// surviving write superseded wj's page). Only the ordering contract is
+// audited — on the -OD profiles this trial runs on, the preallocation
+// fsync makes no honest durability promise.
 func OrderingTrial(prof core.Profile, crashAt sim.Time) Report {
 	const pages = 8
 	k := sim.NewKernel()
 	s := core.NewStack(k, prof)
-	type wr struct {
-		page int64
-		ver  int64
-	}
-	var issued []wr // barrier-separated writes in order
-	k.Spawn("writer", func(p *sim.Proc) {
-		f, err := s.FS.Create(p, s.FS.Root(), "ordered.dat")
-		if err != nil {
-			panic(err)
-		}
-		// Preallocate and make everything durable: the trial then exercises
-		// the pure data-ordering path with stable metadata.
-		for i := int64(0); i < pages; i++ {
-			s.FS.Write(p, f, i)
-		}
-		s.FS.Fsync(p, f)
-		for n := int64(0); ; n++ {
-			idx := 1 + n%(pages-1) // page 0 untouched as an anchor
-			s.FS.Write(p, f, idx)
-			ver, _ := s.FS.Read(p, f, idx)
-			issued = append(issued, wr{page: idx, ver: ver})
-			s.FS.Fdatabarrier(p, f)
-		}
-	})
+	w := crashmc.SpawnOrderingWorkload(k, s, pages, 0)
 	k.RunUntil(crashAt)
 	s.Crash()
 	var view *fs.View
@@ -147,48 +136,7 @@ func OrderingTrial(prof core.Profile, crashAt sim.Time) Report {
 
 	rep := Report{CrashAt: crashAt}
 	rep.RecoveredTxns = len(view.Journal().Applied)
-	root, ok := view.Root(s.FS)
-	if !ok {
-		return rep // nothing durable at all: trivially ordered
-	}
-	meta, ok := view.Lookup(root, "ordered.dat")
-	if !ok {
-		return rep
-	}
-	// Map each page's recovered version to its index in the issue sequence.
-	verToIdx := make(map[int64]int, len(issued))
-	for i, w := range issued {
-		verToIdx[w.ver] = i
-	}
-	recovered := make(map[int64]int64) // page -> version
-	cut := -1                          // newest surviving write's issue index
-	for i := int64(1); i < pages; i++ {
-		ver, ok := view.PageVersion(meta, i)
-		if !ok {
-			continue
-		}
-		recovered[i] = ver
-		if idx, ok := verToIdx[ver]; ok && idx > cut {
-			cut = idx
-		}
-	}
-	if cut < 0 {
-		return rep // only the preallocation image survived
-	}
-	// Every page's recovered version must be at least as new as its last
-	// write at or before the cut.
-	lastBefore := make(map[int64]int64)
-	for i := 0; i <= cut; i++ {
-		lastBefore[issued[i].page] = issued[i].ver
-	}
-	for page, want := range lastBefore {
-		got, ok := recovered[page]
-		if !ok || got < want {
-			rep.OrderingErrors = append(rep.OrderingErrors,
-				fmt.Sprintf("write #%d (page %d v%d) durable, but page %d recovered v%d/%v < barrier-ordered v%d",
-					cut, issued[cut].page, issued[cut].ver, page, got, ok, want))
-		}
-	}
+	rep.apply(&crashmc.OrderingChecker{FS: s.FS, File: w.File, Pages: w.Pages, Issued: w.Issued}, view)
 	return rep
 }
 

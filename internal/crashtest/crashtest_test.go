@@ -1,6 +1,7 @@
 package crashtest
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -108,5 +109,60 @@ func TestReportString(t *testing.T) {
 	r.OrderingErrors = append(r.OrderingErrors, "x")
 	if r.Ok() {
 		t.Error("report with errors is not ok")
+	}
+}
+
+func TestSweepEmptyTimes(t *testing.T) {
+	// An empty crash-time slice is a no-op sweep, not a panic: zero
+	// reports, for both trial kinds and the kv sweep.
+	prof := core.EXT4DR(device.PlainSSD())
+	if got := Sweep(prof, "durability", nil); len(got) != 0 {
+		t.Fatalf("empty durability sweep returned %d reports", len(got))
+	}
+	if got := Sweep(prof, "ordering", []sim.Time{}); len(got) != 0 {
+		t.Fatalf("empty ordering sweep returned %d reports", len(got))
+	}
+	if got := KVSweep(prof, 1, nil); len(got) != 0 {
+		t.Fatalf("empty kv sweep returned %d reports", len(got))
+	}
+}
+
+func TestSweepAllOkRendering(t *testing.T) {
+	// Every report of a clean sweep must render as OK and carry its crash
+	// time through.
+	ts := times(500, 2500)
+	reps := Sweep(core.BFSDR(device.PlainSSD()), "durability", ts)
+	if len(reps) != len(ts) {
+		t.Fatalf("got %d reports for %d times", len(reps), len(ts))
+	}
+	for i, rep := range reps {
+		if !rep.Ok() {
+			t.Fatalf("%v: unexpected failure %v %v", rep, rep.DurabilityErrors, rep.OrderingErrors)
+		}
+		if rep.CrashAt != ts[i] {
+			t.Errorf("report %d: crash time %v, want %v", i, rep.CrashAt, ts[i])
+		}
+		if s := rep.String(); !strings.Contains(s, "OK") || strings.Contains(s, "FAIL") {
+			t.Errorf("all-ok report renders as %q", s)
+		}
+	}
+}
+
+func TestReportStringMixedErrors(t *testing.T) {
+	r := Report{
+		CrashAt:          sim.Time(3 * sim.Millisecond),
+		SyncedOps:        7,
+		RecoveredTxns:    2,
+		DurabilityErrors: []string{"lost page"},
+		OrderingErrors:   []string{"reordered", "reordered again"},
+	}
+	if r.Ok() {
+		t.Fatal("mixed-error report must not be ok")
+	}
+	s := r.String()
+	for _, want := range []string{"FAIL (1 durability, 2 ordering)", "synced=7", "txns=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("mixed report %q missing %q", s, want)
+		}
 	}
 }

@@ -1,18 +1,18 @@
 package crashtest
 
 import (
-	"fmt"
-	"math/rand"
-
 	"repro/internal/core"
-	"repro/internal/kvwal"
+	"repro/internal/crashmc"
+	"repro/internal/fs"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
 
 // KVTrial drives the kvwal store with concurrent committing clients on a
-// live stack, power-fails the device at crashAt, recovers, and audits the
-// two application-level contracts:
+// live stack (crashmc.SpawnKVWorkload — the same driver the model checker
+// uses, so the sampled and exhaustive audits share one workload history),
+// power-fails the device at crashAt, recovers, and audits the two
+// application-level contracts:
 //
 //   - durability: every mutation the store acknowledged durable
 //     (kvwal.Store.DurableSeq) is reflected in the recovered image;
@@ -23,39 +23,10 @@ import (
 func KVTrial(prof core.Profile, clients int, crashAt sim.Time) Report {
 	k := sim.NewKernel()
 	s := core.NewStack(k, prof)
-	var st *kvwal.Store
-	ready := false
-	k.Spawn("kv/setup", func(p *sim.Proc) {
-		cfg := kvwal.Config{WALPages: 128, MemtableCap: 32, CompactFanIn: 3, CheckpointEvery: 8}
-		var err error
-		st, err = kvwal.Open(p, s, cfg)
-		if err != nil {
-			panic(err)
-		}
-		ready = true
-	})
-	for c := 0; c < clients; c++ {
-		c := c
-		k.SpawnIdx("kv/client", c, func(p *sim.Proc) {
-			rng := rand.New(rand.NewSource(int64(41 + c)))
-			for !ready {
-				p.Sleep(sim.Millisecond)
-			}
-			for {
-				ops := make([]kvwal.Op, 3)
-				for i := range ops {
-					kind := kvwal.Put
-					if rng.Intn(100) < 15 {
-						kind = kvwal.Delete
-					}
-					ops[i] = kvwal.Op{Kind: kind, Key: fmt.Sprintf("k%04d", rng.Intn(512))}
-				}
-				st.Apply(p, ops)
-			}
-		})
-	}
+	w := crashmc.SpawnKVWorkload(k, s, clients)
 	k.RunUntil(crashAt)
 	s.Crash()
+	st := w.Store()
 	if st == nil {
 		// The crash landed inside Open: nothing was ever acknowledged, so
 		// any recovered image is trivially consistent. The clients are still
@@ -63,16 +34,17 @@ func KVTrial(prof core.Profile, clients int, crashAt sim.Time) Report {
 		k.Close()
 		return Report{CrashAt: crashAt}
 	}
-	var rec kvwal.Recovered
+	var view *fs.View
 	k.Spawn("recover", func(p *sim.Proc) {
-		view, _ := s.RecoverView(p)
-		rec = st.Recover(view)
+		view, _ = s.RecoverView(p)
 	})
 	k.Run()
 	defer k.Close()
 
-	rep := Report{CrashAt: crashAt, SyncedOps: int(st.DurableSeq()), RecoveredTxns: rec.WALApplied}
-	rep.DurabilityErrors, rep.OrderingErrors = st.Audit(rec)
+	rep := Report{CrashAt: crashAt, SyncedOps: int(st.DurableSeq())}
+	rec := st.Recover(view) // one recovery scan: reported and audited
+	rep.RecoveredTxns = rec.WALApplied
+	rep.fold((&crashmc.KVChecker{Store: st}).CheckRecovered(rec))
 	return rep
 }
 

@@ -444,3 +444,38 @@ func TestQDSeriesRecordsDepth(t *testing.T) {
 		t.Errorf("QD peak = %v, want >= 2", d.QDSeries().Peak(0, k.Now()))
 	}
 }
+
+func TestCaptureConstraintsVolatileAbsentFromRecoveredBase(t *testing.T) {
+	// Model soundness: every write CaptureConstraints reports as volatile
+	// must be genuinely loseable — absent from the durable base the model
+	// checker overlays candidate cuts on. Entries whose programs completed
+	// inside the durable prefix (reaper lag) must be folded into the base,
+	// not reported volatile: a cut "losing" them could not be materialized.
+	k := sim.NewKernel()
+	defer k.Close()
+	d := New(k, tinyConfig()) // barrier device, eager writeback
+	k.Spawn("host", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			c := &Command{Kind: CmdWrite, LPA: uint64(100 + i), Data: i, Barrier: i%4 == 3}
+			for !d.Submit(c) {
+				d.WaitSpace(p)
+			}
+			p.Advance(20 * sim.Microsecond)
+		}
+	})
+	k.RunUntil(sim.Time(400 * sim.Microsecond))
+	cons := d.CaptureConstraints()
+	if len(cons.Writes) == 0 {
+		t.Fatal("expected volatile writes at the crash instant")
+	}
+	d.Crash()
+	var d2 *Device
+	k.Spawn("recover", func(p *sim.Proc) { d2 = Recover(p, d) })
+	k.Run()
+	for _, w := range cons.Writes {
+		if data, ok := d2.DurableData(w.LPA); ok && data == w.Data {
+			t.Errorf("write lpa=%d seq=%d modeled as volatile but present in the recovered base",
+				w.LPA, w.Seq)
+		}
+	}
+}

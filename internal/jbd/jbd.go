@@ -231,6 +231,15 @@ type Journal struct {
 	freePages int
 	tailTxn   uint64 // oldest un-checkpointed txn id
 
+	// ackedDurable is the newest transaction id a durability wait has
+	// acknowledged to a caller — the journal-level fsync contract the
+	// crash-state model checker audits. Under a nobarrier mount the wait
+	// returns at StateCommitted, so the ack can outrun what is actually on
+	// the storage surface: recording the *claim* rather than the physical
+	// state is the point (internal/crashmc reproduces EXT4-nobarrier's
+	// false ack as a positive finding).
+	ackedDurable uint64
+
 	stats Stats
 }
 
@@ -425,6 +434,18 @@ func (j *Journal) CommitAndWait(p *sim.Proc) *Txn {
 	return t
 }
 
+// AckedDurable returns the newest transaction id a durability wait
+// (WaitTxn / CommitAndWait) has acknowledged. After a crash, journal
+// replay must reach at least this id — anything less means a caller was
+// told its transaction was durable when it was not.
+func (j *Journal) AckedDurable() uint64 { return j.ackedDurable }
+
+func (j *Journal) ackDurable(t *Txn) {
+	if t.id > j.ackedDurable {
+		j.ackedDurable = t.id
+	}
+}
+
 // WaitTxn blocks until t reaches the mount's durability target. When the
 // transaction is committed but no engine path will flush it (OptFS's
 // delayed-durability window, or a Dual-Mode ordering transaction that
@@ -453,6 +474,7 @@ func (j *Journal) WaitTxn(p *sim.Proc, t *Txn) {
 				t.state = StateDurable
 				t.wakeDurable()
 			}
+			j.ackDurable(t)
 			return
 		}
 		if target == StateDurable {
@@ -463,6 +485,7 @@ func (j *Journal) WaitTxn(p *sim.Proc, t *Txn) {
 		p.Suspend()
 		j.wake(p)
 	}
+	j.ackDurable(t)
 }
 
 // CommitOrdering closes the running transaction for an ordering-only caller
