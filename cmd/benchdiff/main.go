@@ -18,6 +18,15 @@
 // Benchmarks present in only one file are reported and ignored by the
 // gate. A missing or empty baseline file reports and exits 0, so the first
 // run of a new pipeline cannot fail.
+//
+// With -db, benchdiff instead gates cells of the repro perf-trajectory
+// database (`repro record`'s bench.db): the latest recorded run against
+// the one before it, over every cell matching -cell, with -direction
+// naming which way is a regression:
+//
+//	benchdiff -db bench.db -cell 'kv/*/ops_per_s' -direction down -threshold 10
+//	benchdiff -db bench.db -cell 'kv/*/p99_ms' -direction up -threshold 25
+//	benchdiff -db bench.db -cell 'crashmc/*/states_explored' -direction down -threshold 0
 package main
 
 import (
@@ -147,7 +156,20 @@ func main() {
 	threshold := flag.Float64("threshold", 15, "max regression percent before failing")
 	gateAllocs := flag.Bool("gate-allocs", false, "additionally gate allocs/op")
 	allocsThreshold := flag.Float64("allocs-threshold", 1, "max allocs/op regression percent before failing (with -gate-allocs)")
+	dbPath := flag.String("db", "", "gate against this repro results database instead of two bench files")
+	cellGlob := flag.String("cell", "*", "database cells to gate ('*' matches anything; with -db)")
+	direction := flag.String("direction", "up", "which way is a regression: up or down (with -db)")
 	flag.Parse()
+	if *dbPath != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -db bench.db [-cell GLOB] [-direction up|down] [-threshold PCT]")
+			os.Exit(2)
+		}
+		if gateDB(*dbPath, *cellGlob, *direction, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.txt new.txt")
 		os.Exit(2)

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The perf-trajectory database is an append-only JSONL file (bench.db by
+// default): one line per recorded run, each run flattened into named cells.
+// A cell is `<experiment>/<key=value,...>/<metric>` — e.g.
+// `kv/clients=4,config=BFS-DR/ops_per_s` — so the same logical measurement
+// keeps the same name across history and `repro trend` / `benchdiff -db`
+// can line runs up column by column.
+
+// dbRun is one recorded line of the database.
+type dbRun struct {
+	RecordedAt  string             `json:"recorded_at"`
+	Label       string             `json:"label"`
+	Source      string             `json:"source"`
+	Commit      string             `json:"commit,omitempty"`
+	GoVersion   string             `json:"go_version,omitempty"`
+	Host        string             `json:"host,omitempty"`
+	Scale       string             `json:"scale"`
+	Parallel    bool               `json:"parallel"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Cells       map[string]float64 `json:"cells"`
+}
+
+// keyFieldInts are the numeric row fields that identify a sweep cell rather
+// than measure it (sweep axes: client count, stream count, crash time, ...).
+// String fields are always identity; remaining numerics are metrics.
+var keyFieldInts = map[string]bool{
+	"clients": true, "streams": true, "hw_queues": true, "threads": true,
+	"channels": true, "crash_at_us": true,
+}
+
+// cellKey renders one row's identity: sorted key=value pairs.
+func cellKey(row map[string]any) string {
+	var parts []string
+	for f, v := range row {
+		switch v := v.(type) {
+		case string:
+			parts = append(parts, f+"="+v)
+		case float64:
+			if keyFieldInts[f] {
+				parts = append(parts, f+"="+strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// flattenCells turns a -json report into the run's cell map.
+func flattenCells(rep jsonReport) map[string]float64 {
+	cells := make(map[string]float64)
+	for _, exp := range rep.Experiments {
+		cells[exp.Name+"//wall_seconds"] = exp.WallSeconds
+		for _, row := range exp.Rows {
+			key := cellKey(row)
+			for f, v := range row {
+				switch v := v.(type) {
+				case float64:
+					if !keyFieldInts[f] {
+						cells[exp.Name+"/"+key+"/"+f] = v
+					}
+				case bool:
+					// capped/sampled flags: record as 0/1 so a cap kicking
+					// in (and invalidating state counts) is itself visible.
+					b := 0.0
+					if v {
+						b = 1
+					}
+					cells[exp.Name+"/"+key+"/"+f] = b
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// readDB loads every run line of the database, oldest first. A missing file
+// is an empty history, not an error.
+func readDB(path string) ([]dbRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var runs []dbRun
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r dbRun
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("%s: bad run line: %v", path, err)
+		}
+		runs = append(runs, r)
+	}
+	return runs, sc.Err()
+}
+
+// cmdRecord appends -json run files to the database. The run's commit/go
+// version/host come from the report header when present (repro -json writes
+// them since PR 6); -commit overrides for older snapshots.
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	dbPath := fs.String("db", "bench.db", "append-only results database (JSONL)")
+	label := fs.String("label", "", "run label (default: source file basename)")
+	commit := fs.String("commit", "", "override the recorded commit hash")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("record: no -json run files given")
+	}
+	if *label != "" && fs.NArg() > 1 {
+		return fmt.Errorf("record: -label only applies to a single run file")
+	}
+	f, err := os.OpenFile(*dbPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, src := range fs.Args() {
+		b, err := os.ReadFile(src)
+		if err != nil {
+			return err
+		}
+		var rep jsonReport
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return fmt.Errorf("%s: %v", src, err)
+		}
+		run := dbRun{
+			RecordedAt:  time.Now().UTC().Format(time.RFC3339),
+			Label:       *label,
+			Source:      src,
+			Commit:      rep.Commit,
+			GoVersion:   rep.GoVersion,
+			Host:        rep.Host,
+			Scale:       rep.Scale,
+			Parallel:    rep.Parallel,
+			GoMaxProcs:  rep.GoMaxProcs,
+			WallSeconds: rep.WallSeconds,
+			Cells:       flattenCells(rep),
+		}
+		if run.Label == "" {
+			run.Label = strings.TrimSuffix(filepath.Base(src), filepath.Ext(src))
+		}
+		if *commit != "" {
+			run.Commit = *commit
+		}
+		line, err := json.Marshal(run)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %s: %d cells as %q into %s\n",
+			src, len(run.Cells), run.Label, *dbPath)
+	}
+	return nil
+}
+
+// cellPattern compiles a benchdiff/trend-style glob ('*' matches anything)
+// into an anchored regexp.
+func cellPattern(glob string) (*regexp.Regexp, error) {
+	return regexp.Compile("^" + strings.ReplaceAll(regexp.QuoteMeta(glob), `\*`, ".*") + "$")
+}
+
+// cmdTrend prints the cross-history table: one row per cell, one column per
+// recorded run, oldest left.
+func cmdTrend(args []string) error {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	dbPath := fs.String("db", "bench.db", "results database to read")
+	cellGlob := fs.String("cell", "*", "only show cells matching this glob")
+	last := fs.Int("last", 0, "only show the last N runs (0 = all)")
+	fs.Parse(args)
+	runs, err := readDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		fmt.Printf("trend: %s has no recorded runs\n", *dbPath)
+		return nil
+	}
+	if *last > 0 && len(runs) > *last {
+		runs = runs[len(runs)-*last:]
+	}
+	pat, err := cellPattern(*cellGlob)
+	if err != nil {
+		return err
+	}
+	cellSet := make(map[string]bool)
+	for _, r := range runs {
+		for name := range r.Cells {
+			if pat.MatchString(name) {
+				cellSet[name] = true
+			}
+		}
+	}
+	cells := make([]string, 0, len(cellSet))
+	for name := range cellSet {
+		cells = append(cells, name)
+	}
+	sort.Strings(cells)
+	if len(cells) == 0 {
+		fmt.Printf("trend: no cells match %q\n", *cellGlob)
+		return nil
+	}
+
+	nameW := len("cell")
+	for _, c := range cells {
+		if len(c) > nameW {
+			nameW = len(c)
+		}
+	}
+	const colW = 14
+	fmt.Printf("%-*s", nameW, "cell")
+	for _, r := range runs {
+		fmt.Printf("  %*s", colW, clip(r.Label, colW))
+	}
+	fmt.Println()
+	for _, c := range cells {
+		fmt.Printf("%-*s", nameW, c)
+		for _, r := range runs {
+			v, ok := r.Cells[c]
+			if !ok {
+				fmt.Printf("  %*s", colW, "-")
+			} else {
+				fmt.Printf("  %*s", colW, trimNum(v))
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func clip(s string, w int) string {
+	if len(s) > w {
+		return s[:w]
+	}
+	return s
+}
+
+// trimNum renders a cell value compactly: integers without a fraction,
+// everything else with enough digits to compare.
+func trimNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -13,6 +13,9 @@ import (
 // files across machines and PRs.
 type jsonReport struct {
 	GeneratedAt string           `json:"generated_at"`
+	Commit      string           `json:"commit,omitempty"`
+	GoVersion   string           `json:"go_version,omitempty"`
+	Host        string           `json:"host,omitempty"`
 	Scale       string           `json:"scale"`
 	Parallel    bool             `json:"parallel"`
 	GoMaxProcs  int              `json:"gomaxprocs"`

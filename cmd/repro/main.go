@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	repro [-quick] [-parallel=false] [-json out.json]
+//	repro [-quick] [-parallel=false] [-json out.json] [-spans trace.json]
+//	      [-live 2s] [-live-http :8080]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof] [experiment ...]
+//	repro record [-db bench.db] [-label NAME] [-commit HASH] run.json ...
+//	repro trend  [-db bench.db] [-cell GLOB] [-last N]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
 // mq kv crash crashmc all. With no arguments, runs `all`. The `mq`
@@ -20,15 +23,27 @@
 // -parallel=false, e.g. when profiling a single kernel). -json emits the
 // machine-readable results — IOPS, latency percentiles, crash-audit counts
 // and wall-clock seconds per experiment — that the perf-trajectory
-// BENCH_*.json files record.
+// BENCH_*.json files record, stamped with the commit, go version, and host.
+//
+// `record` appends -json run files to the append-only bench.db database
+// and `trend` prints the cross-history table over it (see db.go).
+// -live/-live-http install a process-wide metrics registry and stream
+// periodic snapshots — sweep cells done/total, per-layer counters, crashmc
+// states — to stderr or an HTTP endpoint while the run is in flight.
+// -spans records kernel trace spans for every experiment cell and dumps
+// them as Chrome trace_event JSON (load via chrome://tracing or
+// https://ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -101,19 +116,51 @@ var runners = []runner{
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "record":
+			exitOn(cmdRecord(os.Args[2:]))
+			return
+		case "trend":
+			exitOn(cmdTrend(os.Args[2:]))
+			return
+		}
+	}
 	quick := flag.Bool("quick", false, "run shortened experiments")
 	parallel := flag.Bool("parallel", true, "run independent sweep cells on one kernel per CPU")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
+	spansPath := flag.String("spans", "", "write a Chrome trace_event span dump to this path")
+	liveEvery := flag.Duration("live", 0, "stream live sweep stats to stderr at this interval")
+	liveHTTP := flag.String("live-http", "", "serve live stats as JSON on this address (e.g. :8080)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
-	if err := run(*quick, *parallel, *jsonPath, *cpuProfile, *memProfile, flag.Args()); err != nil {
+	exitOn(run(runOpts{
+		quick: *quick, parallel: *parallel,
+		jsonPath: *jsonPath, spansPath: *spansPath,
+		liveEvery: *liveEvery, liveHTTP: *liveHTTP,
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
+	}, flag.Args()))
+}
+
+func exitOn(err error) {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick, parallel bool, jsonPath, cpuProfile, memProfile string, args []string) error {
+type runOpts struct {
+	quick, parallel        bool
+	jsonPath, spansPath    string
+	liveEvery              time.Duration
+	liveHTTP               string
+	cpuProfile, memProfile string
+}
+
+func run(opts runOpts, args []string) error {
+	quick, parallel := opts.quick, opts.parallel
+	jsonPath, cpuProfile, memProfile := opts.jsonPath, opts.cpuProfile, opts.memProfile
 	scale := experiments.Full
 	scaleName := "full"
 	if quick {
@@ -135,10 +182,23 @@ func run(quick, parallel bool, jsonPath, cpuProfile, memProfile string, args []s
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
+	if opts.liveEvery > 0 || opts.liveHTTP != "" {
+		ls, err := startLive(opts.liveEvery, opts.liveHTTP)
+		if err != nil {
+			return err
+		}
+		defer ls.shutdown()
+	}
+	if opts.spansPath != "" {
+		experiments.CaptureSpans(true)
+	}
 	report := jsonReport{
 		Scale:      scaleName,
 		Parallel:   parallel,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Commit:     gitCommit(),
+		GoVersion:  runtime.Version(),
+		Host:       hostInfo(),
 	}
 	start := time.Now()
 	for _, name := range args {
@@ -180,5 +240,44 @@ func run(quick, parallel bool, jsonPath, cpuProfile, memProfile string, args []s
 		}
 		fmt.Fprintf(os.Stderr, "repro: wrote %s\n", jsonPath)
 	}
+	if opts.spansPath != "" {
+		f, err := os.Create(opts.spansPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteSpans(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "repro: wrote %s\n", opts.spansPath)
+	}
 	return nil
+}
+
+// gitCommit stamps a run with the commit it was built from: the build
+// info's vcs.revision when the binary carries it, otherwise git itself
+// (go run / go test builds don't embed VCS stamps).
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// hostInfo is enough machine identity to compare recorded runs:
+// hostname, OS/arch, and CPU count.
+func hostInfo() string {
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%s %s/%s %dcpu", host, runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
 }

@@ -20,10 +20,12 @@
 package blkmq
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/block"
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -60,6 +62,10 @@ type Config struct {
 	BarrierAsCommand bool
 	// Trace records the dispatch order for verification.
 	Trace bool
+	// Metrics is an explicit observability registry; nil falls back to the
+	// process-wide live registry, and a nil resolution disables the layer's
+	// instruments.
+	Metrics *metrics.Registry
 }
 
 // Stats are cumulative layer statistics.
@@ -109,6 +115,15 @@ type MQ struct {
 	trace  []block.DispatchRecord
 	stats  Stats
 	staged int // total staged across streams, for StagedPeak
+	obs    mqObs
+}
+
+// mqObs holds the layer's registry instruments; all nil when disabled. The
+// per-queue depth gauges count requests buffered per hardware dispatch
+// context (scheduler + staging), the blk-mq in-flight view.
+type mqObs struct {
+	submitted, dispatched, spread *metrics.Counter
+	depth                         []*metrics.Gauge
 }
 
 var _ block.Submitter = (*MQ)(nil)
@@ -133,6 +148,14 @@ func New(k *sim.Kernel, dev *device.Device, cfg Config) *MQ {
 	}
 	m := &MQ{k: k, dev: dev, cfg: cfg, streams: make(map[uint64]*stream)}
 	m.cmds = block.NewCmdPool(func(sim.Time, *block.Request) { m.stats.Completed++ })
+	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
+		m.obs.submitted = reg.Counter("blkmq/submitted")
+		m.obs.dispatched = reg.Counter("blkmq/dispatched")
+		m.obs.spread = reg.Counter("blkmq/spread")
+		for i := 0; i < cfg.HWQueues; i++ {
+			m.obs.depth = append(m.obs.depth, reg.Gauge(fmt.Sprintf("blkmq/hwq%d.depth", i)))
+		}
+	}
 	for i := 0; i < cfg.HWQueues; i++ {
 		h := &hwQueue{id: i, kick: sim.NewCond(k)}
 		m.hw = append(m.hw, h)
@@ -257,12 +280,17 @@ func (m *MQ) spread(r *block.Request) {
 		r.Flags&(block.FlagFlush|block.FlagFUA) == 0 {
 		r.Stream = 1 + r.LPA%uint64(m.cfg.DataStreams)
 		m.stats.Spread++
+		m.obs.spread.Inc()
 	}
 }
 
 func (m *MQ) admit(st *stream, r *block.Request) {
 	r.Bind(m.k, m.k.Now())
 	m.stats.Submitted++
+	m.obs.submitted.Inc()
+	if m.obs.depth != nil {
+		m.obs.depth[st.hq.id].Inc()
+	}
 	if len(st.staged) > 0 || !st.sched.Add(r) {
 		st.staged = append(st.staged, r)
 		m.staged++
@@ -325,6 +353,9 @@ func (m *MQ) dispatcher(h *hwQueue) func(p *sim.Proc) {
 				h.kick.Wait(p)
 				continue
 			}
+			if m.obs.depth != nil {
+				m.obs.depth[h.id].Dec()
+			}
 			if m.cfg.DispatchOverhead > 0 {
 				p.Advance(m.cfg.DispatchOverhead)
 			}
@@ -351,6 +382,7 @@ func (m *MQ) dispatcher(h *hwQueue) func(p *sim.Proc) {
 				m.dev.WaitSpace(p)
 			}
 			m.stats.Dispatched++
+			m.obs.dispatched.Inc()
 			if trailer != nil {
 				if m.cfg.DispatchOverhead > 0 {
 					p.Advance(m.cfg.DispatchOverhead)
@@ -362,6 +394,7 @@ func (m *MQ) dispatcher(h *hwQueue) func(p *sim.Proc) {
 					m.dev.WaitSpace(p)
 				}
 				m.stats.Dispatched++
+				m.obs.dispatched.Inc()
 			}
 			st.congest.Broadcast()
 		}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fs"
 	"repro/internal/jbd"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -50,6 +51,11 @@ type Profile struct {
 	// ordering domain) while orderless writeback scatters over per-PID data
 	// streams, so background IO bypasses foreground barriers.
 	MQQueues int
+	// Metrics is an explicit observability registry for the whole stack;
+	// nil falls back to the process-wide live registry (metrics.SetLive).
+	// NewStack forwards the resolved registry to every layer and attaches
+	// the kernel's dispatch stats to it.
+	Metrics *metrics.Registry
 }
 
 // EXT4DR is plain EXT4 with full durability (transfer-and-flush).
@@ -149,6 +155,16 @@ type Stack struct {
 
 // NewStack builds a stack on kernel k.
 func NewStack(k *sim.Kernel, prof Profile) *Stack {
+	reg := metrics.Resolve(prof.Metrics)
+	if reg != nil {
+		k.AttachStats(reg.KernelStats())
+		if prof.Device.Metrics == nil {
+			prof.Device.Metrics = reg
+		}
+		if prof.FS.Metrics == nil {
+			prof.FS.Metrics = reg
+		}
+	}
 	dev := device.New(k, prof.Device)
 	mkSched := func() block.Scheduler {
 		switch prof.Sched {
@@ -168,6 +184,7 @@ func NewStack(k *sim.Kernel, prof Profile) *Stack {
 			BaseSched:        mkSched,
 			SpreadOrderless:  true,
 			BarrierAsCommand: prof.BarrierAsCommand,
+			Metrics:          reg,
 		})
 		s.Front = s.MQ
 	} else {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fs"
 	"repro/internal/jbd"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -160,6 +161,11 @@ func (r Result) String() string {
 // journal for the per-image replay.
 func ModelCheck(cons device.Constraint, base jbd.ReadFn, jcfg jbd.Config, checkers []Checker, cfg Config) Result {
 	cfg = cfg.withDefaults()
+	// Live-stats progress: a long crashmc sweep reports its enumeration
+	// through the process-wide registry (nil-safe when none is installed).
+	reg := metrics.Resolve(nil)
+	obsStates := reg.Counter("crashmc/states")
+	obsImages := reg.Counter("crashmc/images")
 	res := Result{Volatile: len(cons.Writes)}
 	streams := make(map[uint64]struct{})
 	for _, w := range cons.Writes {
@@ -170,6 +176,7 @@ func ModelCheck(cons device.Constraint, base jbd.ReadFn, jcfg jbd.Config, checke
 	n := len(cons.Writes)
 	images := make(map[string]struct{})
 	check := func(cut bitset) {
+		obsStates.Inc()
 		// The disk image is determined by the newest persisted write per
 		// LPA; cuts with identical winner sets materialize identically and
 		// are pruned.
@@ -196,6 +203,7 @@ func ModelCheck(cons device.Constraint, base jbd.ReadFn, jcfg jbd.Config, checke
 			return
 		}
 		images[string(key)] = struct{}{}
+		obsImages.Inc()
 
 		overlay := make(map[uint64]any, len(winners))
 		for lpa, i := range winners {

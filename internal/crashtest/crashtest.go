@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crashmc"
 	"repro/internal/fs"
+	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -74,9 +75,15 @@ func (r *Report) fold(vs []crashmc.Violation) {
 	}
 }
 
+// countTrial feeds the live-stats progress line: every crash trial in the
+// process bumps the process-wide registry's counter (nil-safe when none is
+// installed).
+func countTrial() { metrics.Resolve(nil).Counter("crashtest/trials").Inc() }
+
 // DurabilityTrial writes pages to a file, fsyncing each, then crashes at
 // crashAt and verifies every acknowledged write survived.
 func DurabilityTrial(prof core.Profile, crashAt sim.Time) Report {
+	countTrial()
 	k := sim.NewKernel()
 	s := core.NewStack(k, prof)
 	var synced []crashmc.AckedWrite

@@ -21,6 +21,7 @@ import (
 //     between groups means a later group never persists over a missing
 //     earlier one.
 func KVTrial(prof core.Profile, clients int, crashAt sim.Time) Report {
+	countTrial()
 	k := sim.NewKernel()
 	s := core.NewStack(k, prof)
 	w := crashmc.SpawnKVWorkload(k, s, clients)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/ftl"
+	"repro/internal/metrics"
 	"repro/internal/nand"
 	"repro/internal/sim"
 )
@@ -80,6 +81,11 @@ type Config struct {
 	// Seed drives the deterministic pseudo-random writeback scrambling of
 	// non-barrier devices.
 	Seed int64
+
+	// Metrics is an explicit observability registry for this device; nil
+	// falls back to the process-wide live registry (metrics.SetLive), and
+	// a nil resolution disables instrumentation entirely.
+	Metrics *metrics.Registry
 }
 
 // Validate reports a descriptive error for nonsensical configuration.

@@ -81,6 +81,36 @@ type Device struct {
 
 	qdSeries *metrics.Series
 	stats    Stats
+	obs      devObs
+}
+
+// devObs holds the device's registry instruments. With no registry every
+// field is nil and the nil-safe instrument methods reduce each update to a
+// branch; spans go through the kernel and are likewise nil-checked there.
+type devObs struct {
+	writes, reads, flushes *metrics.Counter
+	barriers, fua          *metrics.Counter
+	qdepth, cache          *metrics.Gauge
+	epochMax, epochStreams *metrics.Gauge
+	maxEpoch               uint64 // deepest per-stream epoch seen
+}
+
+// cmdSpanName labels a command's trace span; begin and end must agree for
+// Chrome's async pairing, so it depends only on immutable command fields.
+func cmdSpanName(c *Command) string {
+	switch c.Kind {
+	case CmdFlush:
+		return "flush"
+	case CmdBarrier:
+		return "barrier"
+	case CmdRead:
+		return "read"
+	default:
+		if c.Barrier {
+			return "write+barrier"
+		}
+		return "write"
+	}
 }
 
 // New builds a device with a freshly formatted FTL and starts its service
@@ -98,7 +128,7 @@ func New(k *sim.Kernel, cfg Config) *Device {
 }
 
 func newDevice(k *sim.Kernel, cfg Config, arr *nand.Array) *Device {
-	return &Device{
+	d := &Device{
 		k: k, cfg: cfg, arr: arr,
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		order:     make(map[uint64]*streamOrder),
@@ -113,6 +143,20 @@ func newDevice(k *sim.Kernel, cfg Config, arr *nand.Array) *Device {
 		doneCond:  sim.NewCond(k),
 		qdSeries:  metrics.NewSeries(cfg.Name + "/qd"),
 	}
+	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
+		d.obs = devObs{
+			writes:       reg.Counter("device/writes"),
+			reads:        reg.Counter("device/reads"),
+			flushes:      reg.Counter("device/flushes"),
+			barriers:     reg.Counter("device/barriers"),
+			fua:          reg.Counter("device/fua"),
+			qdepth:       reg.Gauge("device/queue.depth"),
+			cache:        reg.Gauge("device/cache.pages"),
+			epochMax:     reg.Gauge("device/epoch.max"),
+			epochStreams: reg.Gauge("device/epoch.streams"),
+		}
+	}
+	return d
 }
 
 // start spawns the device's service processes in the kernel's process
@@ -187,6 +231,12 @@ func (d *Device) Submit(c *Command) bool {
 	}
 	d.queued = append(d.queued, c)
 	d.qdSeries.Record(d.k.Now(), float64(d.Occupancy()))
+	if d.obs.qdepth != nil {
+		d.obs.qdepth.Set(int64(d.Occupancy()))
+	}
+	if d.k.Spans() != nil {
+		d.k.SpanBegin("device", cmdSpanName(c), c.seq)
+	}
 	// At most len(queued) workers can pick something; waking the rest of
 	// the idle worker pool would be a futile dispatch each.
 	d.pickCond.SignalN(len(d.queued))
@@ -308,6 +358,26 @@ func (d *Device) worker(p *sim.Proc) {
 	}
 }
 
+// barrierAdvance is the epoch-advance bookkeeping a barrier performs,
+// shared statement-for-statement by the blocking and handler service paths
+// (standalone barrier command and barrier-flagged write alike).
+func (d *Device) barrierAdvance(stream uint64) {
+	d.stats.Barriers++
+	d.epochs[stream]++
+	if d.obs.barriers != nil {
+		d.obs.barriers.Inc()
+		d.obs.epochStreams.Set(int64(len(d.epochs)))
+		if e := d.epochs[stream]; e > d.obs.maxEpoch {
+			d.obs.maxEpoch = e
+			d.obs.epochMax.Set(int64(e))
+		}
+	}
+	if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
+		d.barrierOn = true
+		d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty
+	}
+}
+
 func (d *Device) service(p *sim.Proc, c *Command) {
 	p.Advance(d.cfg.CmdOverhead)
 	if d.dead {
@@ -318,12 +388,7 @@ func (d *Device) service(p *sim.Proc, c *Command) {
 		d.stats.Flushes++
 		d.doFlush(p)
 	case CmdBarrier:
-		d.stats.Barriers++
-		d.epochs[c.Stream]++
-		if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
-			d.barrierOn = true
-			d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty
-		}
+		d.barrierAdvance(c.Stream)
 	case CmdWrite:
 		if c.PreFlush {
 			d.stats.Flushes++
@@ -372,13 +437,9 @@ func (d *Device) doWrite(p *sim.Proc, c *Command) {
 	}
 	d.readMap[c.LPA] = c.Data
 	d.stats.Writes++
+	d.obs.cache.Set(int64(len(d.entries)))
 	if c.Barrier {
-		d.stats.Barriers++
-		d.epochs[c.Stream]++
-		if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
-			d.barrierOn = true
-			d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty
-		}
+		d.barrierAdvance(c.Stream)
 	}
 	if d.cfg.EagerWriteback || d.dirtyCount() >= d.highWater() || e.urgent {
 		d.wbCond.Broadcast()
@@ -450,6 +511,26 @@ func (d *Device) complete(p *sim.Proc, c *Command) {
 	c.complete = true
 	d.retire(c)
 	d.qdSeries.Record(p.Now(), float64(d.Occupancy()))
+	if d.obs.writes != nil {
+		d.obs.qdepth.Set(int64(d.Occupancy()))
+		switch c.Kind {
+		case CmdFlush:
+			d.obs.flushes.Inc()
+		case CmdWrite:
+			d.obs.writes.Inc()
+			if c.PreFlush {
+				d.obs.flushes.Inc()
+			}
+			if c.FUA {
+				d.obs.fua.Inc()
+			}
+		case CmdRead:
+			d.obs.reads.Inc()
+		}
+	}
+	if d.k.Spans() != nil {
+		d.k.SpanEnd("device", cmdSpanName(c), c.seq)
+	}
 	d.spaceCond.Broadcast()
 	d.pickCond.SignalN(len(d.queued))
 	if c.Done != nil {
@@ -566,6 +647,7 @@ func (d *Device) reaperLoop(p *sim.Proc) {
 			kept = append(kept, e)
 		}
 		d.entries = kept
+		d.obs.cache.Set(int64(len(d.entries)))
 		if retired {
 			d.doneCond.Broadcast()
 			d.pickCond.SignalN(len(d.queued))

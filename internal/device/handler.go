@@ -123,12 +123,7 @@ func (d *Device) workerStep(h *sim.Proc, w *workerSM) {
 				}
 				w.flushDone(d)
 			case CmdBarrier:
-				d.stats.Barriers++
-				d.epochs[c.Stream]++
-				if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
-					d.barrierOn = true
-					d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty
-				}
+				d.barrierAdvance(c.Stream)
 				w.phase = wTail
 			case CmdWrite:
 				if c.PreFlush {
@@ -197,13 +192,9 @@ func (d *Device) workerStep(h *sim.Proc, w *workerSM) {
 			}
 			d.readMap[c.LPA] = c.Data
 			d.stats.Writes++
+			d.obs.cache.Set(int64(len(d.entries)))
 			if c.Barrier {
-				d.stats.Barriers++
-				d.epochs[c.Stream]++
-				if d.cfg.BarrierPenalty > 0 && !d.barrierOn {
-					d.barrierOn = true
-					d.arr.ProgramScale = 1 + d.cfg.BarrierPenalty
-				}
+				d.barrierAdvance(c.Stream)
 			}
 			if d.cfg.EagerWriteback || d.dirtyCount() >= d.highWater() || e.urgent {
 				d.wbCond.Broadcast()
@@ -378,6 +369,7 @@ func (d *Device) reaperStep(h *sim.Proc) {
 				kept = append(kept, e)
 			}
 			d.entries = kept
+			d.obs.cache.Set(int64(len(d.entries)))
 			if retired {
 				d.doneCond.Broadcast()
 				d.pickCond.SignalN(len(d.queued))

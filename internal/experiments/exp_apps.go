@@ -63,7 +63,7 @@ func Fig14(scale Scale) Fig14Result {
 	rows := make([]Fig14Row, len(cells))
 	par.For(len(cells), func(i int) {
 		c := cells[i]
-		k := sim.NewKernel()
+		k := newKernel(fmt.Sprintf("fig14/%s/%s/%v", c.dev, c.cfg, c.mode))
 		defer k.Close()
 		s := core.NewStack(k, c.prof)
 		res := sqlmini.Bench(k, s, sqlmini.DefaultConfig(c.mode, c.d), dur)
@@ -119,7 +119,7 @@ func Fig15(scale Scale) Fig15Result {
 	par.For(len(rows), func(i int) {
 		dev := devices[i/(2*len(profiles))]()
 		pr := profiles[i/2%len(profiles)]
-		k := sim.NewKernel()
+		k := newKernel(fmt.Sprintf("fig15/%s/%s/%d", dev.Name, pr.name, i%2))
 		defer k.Close()
 		s := core.NewStack(k, pr.mk(dev))
 		if i%2 == 0 { // varmail

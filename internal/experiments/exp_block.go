@@ -67,7 +67,7 @@ func Fig1Device(i int) Fig1Row {
 }
 
 func runRandPolicy(prof core.Profile, po workload.Policy, dur sim.Duration) workload.RandWriteResult {
-	k := sim.NewKernel()
+	k := newKernel(fmt.Sprintf("randwrite/%s/%s/%v", prof.Device.Name, prof.Name, po))
 	defer k.Close()
 	s := core.NewStack(k, prof)
 	cfg := workload.DefaultRandWrite(po)
@@ -140,7 +140,7 @@ func Fig10(scale Scale) []Fig10Result {
 	devices := []func() device.Config{device.PlainSSD, device.UFS}
 	out := make([]Fig10Result, len(devices))
 	run := func(prof core.Profile, po workload.Policy, qd int) (float64, string) {
-		k := sim.NewKernel()
+		k := newKernel(fmt.Sprintf("fig10/%s/%v", prof.Device.Name, po))
 		defer k.Close()
 		s := core.NewStack(k, prof)
 		cfg := workload.DefaultRandWrite(po)

@@ -46,7 +46,7 @@ func Table1(scale Scale) Table1Result {
 
 // fsyncLatencies runs a 4KB write+fsync loop and records per-call latency.
 func fsyncLatencies(prof core.Profile, n int) *metrics.LatencyRecorder {
-	k := sim.NewKernel()
+	k := newKernel("table1/" + prof.Device.Name + "/" + prof.Name)
 	defer k.Close()
 	s := core.NewStack(k, prof)
 	rec := metrics.NewLatencyRecorder(prof.Name)
@@ -119,7 +119,7 @@ func Fig11(scale Scale) Fig11Result {
 // 4KB overwrite + sync loop on a preallocated file (the paper's setup: the
 // file exists, so metadata dirtying is timestamp-driven).
 func switchesPerSync(prof core.Profile, n int) float64 {
-	k := sim.NewKernel()
+	k := newKernel("fig11/" + prof.Device.Name + "/" + prof.Name)
 	defer k.Close()
 	s := core.NewStack(k, prof)
 	meter := metrics.NewSwitchMeter(prof.Name)
@@ -163,7 +163,7 @@ type Fig12Result struct {
 // to only ~2-3 while fbarrier() saturates it.
 func Fig12(scale Scale) Fig12Result {
 	run := func(barrier bool) (float64, string) {
-		k := sim.NewKernel()
+		k := newKernel(fmt.Sprintf("fig12/barrier=%v", barrier))
 		defer k.Close()
 		prof := core.BFSDR(device.UFS())
 		s := core.NewStack(k, prof)
@@ -238,7 +238,7 @@ func Fig13(scale Scale) Fig13Result {
 		dev := devices[i/(len(fses)*len(threads))]()
 		mk := fses[i/len(threads)%len(fses)]
 		th := threads[i%len(threads)]
-		k := sim.NewKernel()
+		k := newKernel(fmt.Sprintf("fig13/%s/%s/t%d", dev.Name, mk.name, th))
 		defer k.Close()
 		s := core.NewStack(k, mk.prof(dev))
 		cfg := workload.DefaultDWSL(th)
@@ -294,7 +294,7 @@ func Fig8(scale Scale) Fig8Result {
 	rows := make([]Fig8Row, len(cases))
 	par.For(len(cases), func(ci int) {
 		c := cases[ci]
-		k := sim.NewKernel()
+		k := newKernel("fig8/" + c.mode)
 		defer k.Close()
 		s := core.NewStack(k, c.prof)
 		var first, last sim.Time

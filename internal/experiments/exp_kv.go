@@ -62,7 +62,7 @@ func KV(scale Scale) KVResult {
 	par.For(len(out.Rows), func(i int) {
 		clients := clientCounts[i/len(profiles)]
 		prof := profiles[i%len(profiles)](device.NVMeSSD())
-		k := sim.NewKernel()
+		k := newKernel(fmt.Sprintf("kv/%s/c%d", prof.Name, clients))
 		defer k.Close()
 		s := core.NewStack(k, prof)
 		res := kvwal.Bench(k, s, kvwal.DefaultBenchConfig(clients), dur)

@@ -47,7 +47,7 @@ type MQScalingResult struct {
 // layer with hwq hardware dispatch queues. It returns the measured IOPS
 // and the number of epochs closed in the measurement window.
 func MQPoint(streams, hwq int, dur sim.Duration) (iops float64, epochs int64) {
-	k := sim.NewKernel()
+	k := newKernel(fmt.Sprintf("mq/s%d/q%d", streams, hwq))
 	defer k.Close()
 	dev := device.New(k, device.NVMeSSD())
 	var front block.Submitter
@@ -159,7 +159,7 @@ func MQScaling(scale Scale) MQScalingResult {
 // (head-of-line blocking). On the MQ profiles the orderless bulk writes
 // scatter onto their own streams and the foreground stream stays clear.
 func mqFSPoint(prof core.Profile, dur sim.Duration) float64 {
-	k := sim.NewKernel()
+	k := newKernel("mqfs/" + prof.Name)
 	defer k.Close()
 	s := core.NewStack(k, prof)
 	const bulkThreads = 4

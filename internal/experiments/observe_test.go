@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestLiveSnapshotDuringSweep is the live-stats data race check: a reader
+// snapshotting the process-wide registry continuously while a parallel
+// sweep's cells register and bump instruments from worker goroutines. Run
+// under -race this pins the whole snapshot path — get-or-create under the
+// registry mutex, atomic instrument reads, kernel-stats expansion.
+func TestLiveSnapshotDuringSweep(t *testing.T) {
+	reg := metrics.NewRegistry()
+	metrics.SetLive(reg)
+	defer metrics.SetLive(nil)
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	var snaps atomic.Int64
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if len(reg.Snapshot()) > 0 {
+				snaps.Add(1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	r := Fig9(Quick)
+	close(stop)
+	<-readerDone
+
+	if len(r.Rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+	if snaps.Load() == 0 {
+		t.Error("concurrent reader never saw a non-empty snapshot")
+	}
+	if reg.Counter("device/writes").Value() == 0 {
+		t.Error("sweep ran with live registry but device/writes is zero")
+	}
+	// Fig9's profiles are single-queue (no blkmq layer), so expect the
+	// device and kernel instruments every stack registers.
+	for _, want := range []string{"device/writes", "device/flushes", "sim/dispatch.handler"} {
+		found := false
+		for _, s := range reg.Snapshot() {
+			if s.Name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("snapshot missing %s", want)
+		}
+	}
+}
+
+// TestCaptureSpansAcrossSweep pins the experiment-level span capture: with
+// capture on, every cell of a parallel sweep contributes a labelled trace
+// and the combined dump is valid Chrome trace_event JSON.
+func TestCaptureSpansAcrossSweep(t *testing.T) {
+	CaptureSpans(true)
+	defer CaptureSpans(false)
+	r := Fig9(Quick)
+	if len(r.Rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf); err != nil {
+		t.Fatalf("WriteSpans: %v", err)
+	}
+	var dump struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("span dump is not valid JSON: %v", err)
+	}
+	if len(dump.TraceEvents) < len(r.Rows) {
+		t.Fatalf("span dump has %d events for %d cells", len(dump.TraceEvents), len(r.Rows))
+	}
+	// Capture was taken by WriteSpans: a second dump is empty, not doubled.
+	var buf2 bytes.Buffer
+	if err := WriteSpans(&buf2); err != nil {
+		t.Fatalf("second WriteSpans: %v", err)
+	}
+	var dump2 struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf2.Bytes(), &dump2); err != nil {
+		t.Fatalf("second span dump is not valid JSON: %v", err)
+	}
+	if len(dump2.TraceEvents) != 0 {
+		t.Errorf("TakeSpans did not clear: second dump has %d events", len(dump2.TraceEvents))
+	}
+}

@@ -25,6 +25,7 @@ func (f *FS) Write(p *sim.Proc, i *Inode, idx int64) {
 	if !pg.dirty {
 		pg.dirty = true
 		i.dirtyPg = append(i.dirtyPg, pg)
+		f.obs.dirtyPages.Inc()
 	}
 	f.stats.Writes++
 	if f.pdflushCond != nil && f.pdflushCond.Waiters() > 0 {
@@ -108,6 +109,7 @@ type writebackPlan struct {
 func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast bool) writebackPlan {
 	var plan writebackPlan
 	dirty := i.takeDirty()
+	f.obs.dirtyPages.Add(-int64(len(dirty)))
 	for _, pg := range dirty {
 		journalIt := f.opts.Mode == DataJournal ||
 			(f.opts.SelectiveDataJournal && pg.everSynced)

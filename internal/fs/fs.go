@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/jbd"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -77,6 +78,11 @@ type Options struct {
 	// through the journal (checksum + dirty-page scan). The paper blames
 	// exactly this for OptFS's poor showing on flash (§6.5).
 	JournalScanCPU sim.Duration
+	// Metrics is an explicit observability registry; nil falls back to the
+	// process-wide live registry, and a nil resolution disables the
+	// filesystem's instruments. It is forwarded to the journal unless the
+	// journal names its own.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions returns the standard configuration for an engine.
@@ -216,6 +222,14 @@ type FS struct {
 	writeVer    int64
 
 	stats Stats
+	obs   fsObs
+}
+
+// fsObs holds the filesystem's registry instruments; all nil when disabled.
+type fsObs struct {
+	dirtyPages  *metrics.Gauge
+	pdflushRuns *metrics.Counter
+	syncSeq     uint64 // span correlation id for sync-call spans
 }
 
 // New formats and mounts a filesystem over a block-layer front-end (the
@@ -230,6 +244,13 @@ func New(k *sim.Kernel, layer block.Submitter, opts Options) *FS {
 		byHome:  make(map[uint64]*Inode),
 		nextIno: RootIno + 1,
 		nextLPA: opts.Journal.Start + uint64(opts.Journal.Pages) + 1,
+	}
+	if reg := metrics.Resolve(opts.Metrics); reg != nil {
+		f.obs.dirtyPages = reg.Gauge("fs/dirty.pages")
+		f.obs.pdflushRuns = reg.Counter("fs/pdflush.runs")
+	}
+	if opts.Journal.Metrics == nil {
+		opts.Journal.Metrics = opts.Metrics
 	}
 	f.j = jbd.New(k, layer, opts.Journal)
 	// Allocation metadata is sharded into groups like EXT4's block-group
@@ -273,6 +294,7 @@ func (f *FS) pdflush(p *sim.Proc) {
 			if i.DirtyPages() > 0 {
 				f.writeback(p, i, block.FlagBackground, false)
 				f.stats.PdflushRuns++
+				f.obs.pdflushRuns.Inc()
 			}
 		}
 	}

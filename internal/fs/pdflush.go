@@ -86,6 +86,7 @@ func (f *FS) pdflushStep(h *sim.Proc) {
 			s.cur = nil
 			s.reqs = nil
 			f.stats.PdflushRuns++
+			f.obs.pdflushRuns.Inc()
 		}
 	}
 }
@@ -95,7 +96,9 @@ func (f *FS) pdflushStep(h *sim.Proc) {
 // the same takeDirty/dataRequest helpers so the two stay identical.
 func (f *FS) pdflushPlan(h *sim.Proc, i *Inode) []*block.Request {
 	var reqs []*block.Request
-	for _, pg := range i.takeDirty() {
+	dirty := i.takeDirty()
+	f.obs.dirtyPages.Add(-int64(len(dirty)))
+	for _, pg := range dirty {
 		reqs = append(reqs, f.dataRequest(i, pg, block.FlagBackground, h.ID()))
 	}
 	return reqs

@@ -9,6 +9,22 @@ import (
 // Engine returns the journaling engine in use.
 func (f *FS) Engine() jbd.Mode { return f.opts.Journal.Mode }
 
+// noopSpanEnd is the shared free closer syncSpan hands out with spans off,
+// so the disabled path allocates nothing.
+var noopSpanEnd = func() {}
+
+// syncSpan opens a trace span for one sync-family call and returns its
+// closer, correlating begin and end through a per-FS call sequence.
+func (f *FS) syncSpan(name string) func() {
+	if f.k.Spans() == nil {
+		return noopSpanEnd
+	}
+	f.obs.syncSeq++
+	id := f.obs.syncSeq
+	f.k.SpanBegin("fs", name, id)
+	return func() { f.k.SpanEnd("fs", name, id) }
+}
+
 // Fsync makes the file durable: data, then the journal transaction that
 // covers its metadata. The blocking structure differs per engine exactly as
 // in the paper's Fig. 7:
@@ -22,6 +38,7 @@ func (f *FS) Engine() jbd.Mode { return f.opts.Journal.Mode }
 func (f *FS) Fsync(p *sim.Proc, i *Inode) {
 	f.cpu(p)
 	f.stats.Fsyncs++
+	defer f.syncSpan("fsync")()
 	f.sync(p, i, i.MetaPending())
 }
 
@@ -30,6 +47,7 @@ func (f *FS) Fsync(p *sim.Proc, i *Inode) {
 func (f *FS) Fdatasync(p *sim.Proc, i *Inode) {
 	f.cpu(p)
 	f.stats.Fdatasyncs++
+	defer f.syncSpan("fdatasync")()
 	f.sync(p, i, i.allocDirty && i.MetaPending())
 }
 
@@ -93,6 +111,7 @@ func (f *FS) sync(p *sim.Proc, i *Inode, commitMeta bool) {
 func (f *FS) Fbarrier(p *sim.Proc, i *Inode) {
 	f.cpu(p)
 	f.stats.Fbarriers++
+	defer f.syncSpan("fbarrier")()
 	f.waitCrossStream(p, i)
 	switch f.opts.Journal.Mode {
 	case jbd.ModeDual:
@@ -125,6 +144,7 @@ func (f *FS) Fbarrier(p *sim.Proc, i *Inode) {
 func (f *FS) Fdatabarrier(p *sim.Proc, i *Inode) {
 	f.cpu(p)
 	f.stats.Fdatabarriers++
+	defer f.syncSpan("fdatabarrier")()
 	f.waitCrossStream(p, i)
 	switch f.opts.Journal.Mode {
 	case jbd.ModeDual:

@@ -98,6 +98,7 @@ func (j *Journal) jbd2Thread(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		j.k.SpanBegin("jbd", "commit", t.id)
 		j.wake(p)
 		// Ordered mode: D must be fully transferred before JD is issued.
 		for _, d := range t.dataDeps {
@@ -129,6 +130,8 @@ func (j *Journal) jbd2Thread(p *sim.Proc) {
 			t.wakeDurable()
 		}
 		j.stats.Commits++
+		j.obs.commits.Inc()
+		j.k.SpanEnd("jbd", "commit", t.id)
 		if t.forced && len(t.frozen) == 0 {
 			j.stats.EmptyCommits++
 		}
@@ -147,6 +150,7 @@ func (j *Journal) dualCommitThread(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		j.k.SpanBegin("jbd", "commit", t.id)
 		j.wake(p)
 		// The running transaction may not commit while the conflict-page
 		// list is non-empty (§4.3); resolved buffers join t while we wait.
@@ -194,6 +198,8 @@ func (j *Journal) dualCommitThread(p *sim.Proc) {
 		t.state = StateCommitted
 		t.wakeCommitted()
 		j.stats.Commits++
+		j.obs.commits.Inc()
+		j.k.SpanEnd("jbd", "commit", t.id)
 		if t.forced && len(t.frozen) == 0 {
 			j.stats.EmptyCommits++
 		}
@@ -246,6 +252,7 @@ func (j *Journal) optfsCommitThread(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		j.k.SpanBegin("jbd", "commit", t.id)
 		j.wake(p)
 		for _, d := range t.dataDeps {
 			if !d.Completed() {
@@ -266,6 +273,8 @@ func (j *Journal) optfsCommitThread(p *sim.Proc) {
 		t.state = StateCommitted
 		t.wakeCommitted()
 		j.stats.Commits++
+		j.obs.commits.Inc()
+		j.k.SpanEnd("jbd", "commit", t.id)
 		j.optfsCond.Broadcast()
 	}
 }
@@ -433,6 +442,7 @@ func (j *Journal) finishTxn(t *Txn) {
 		}
 	}
 	j.ckptQ = append(j.ckptQ, t)
+	j.obs.ckptBacklog.Set(int64(len(j.ckptQ)))
 	j.ckptCond.Broadcast()
 }
 
@@ -446,6 +456,7 @@ func (j *Journal) checkpointThread(p *sim.Proc) {
 		}
 		batch := j.ckptQ
 		j.ckptQ = nil
+		j.obs.ckptBacklog.Set(0)
 		// 1. The journal copies must be durable before homes are
 		//    overwritten, or a crash could destroy the only good copy.
 		j.layer.Flush(p)
@@ -489,6 +500,7 @@ func (j *Journal) checkpointThread(p *sim.Proc) {
 			j.freePages += t.pagesUsed
 		}
 		j.stats.Checkpoints++
+		j.obs.checkpoints.Inc()
 		j.spaceCond.Broadcast()
 	}
 }

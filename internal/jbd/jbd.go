@@ -19,6 +19,7 @@ package jbd
 
 import (
 	"repro/internal/block"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -63,6 +64,10 @@ type Config struct {
 	WakeLatency sim.Duration
 	// FlushInterval, for ModeOptFS, is the delayed-durability flush period.
 	FlushInterval sim.Duration
+	// Metrics is an explicit observability registry; nil falls back to the
+	// process-wide live registry, and a nil resolution disables the
+	// journal's instruments.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a journal layout for the standard stack geometry.
@@ -241,6 +246,14 @@ type Journal struct {
 	ackedDurable uint64
 
 	stats Stats
+	obs   jbdObs
+}
+
+// jbdObs holds the journal's registry instruments; all nil when disabled.
+type jbdObs struct {
+	commits, checkpoints          *metrics.Counter
+	conflictParks, conflictBlocks *metrics.Counter
+	ckptBacklog                   *metrics.Gauge
 }
 
 // New creates a journal and starts its engine threads.
@@ -259,6 +272,15 @@ func New(k *sim.Kernel, layer block.Submitter, cfg Config) *Journal {
 		freePages: cfg.Pages,
 		nextTxnID: 1,
 		tailTxn:   1,
+	}
+	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
+		j.obs = jbdObs{
+			commits:        reg.Counter("jbd/commits"),
+			checkpoints:    reg.Counter("jbd/checkpoints"),
+			conflictParks:  reg.Counter("jbd/conflict.parks"),
+			conflictBlocks: reg.Counter("jbd/conflict.blocks"),
+			ckptBacklog:    reg.Gauge("jbd/ckpt.backlog"),
+		}
 	}
 	j.relJD = func(_ sim.Time, r *block.Request) { j.reqPool.Put(r) }
 	j.running = j.newTxn()
@@ -322,11 +344,13 @@ func (j *Journal) DirtyBuffer(p *sim.Proc, buf *Buffer, snapshot any) {
 	if buf.owner != nil {
 		if j.cfg.Mode == ModeDual {
 			j.stats.ConflictParked++
+			j.obs.conflictParks.Inc()
 			buf.conflict = true
 			j.conflictList = append(j.conflictList, buf)
 			return
 		}
 		j.stats.ConflictBlocks++
+		j.obs.conflictBlocks.Inc()
 		target := StateDurable
 		if !j.cfg.BarrierMount || j.cfg.Mode == ModeOptFS {
 			// nobarrier mounts and OptFS release frozen buffers at commit

@@ -179,4 +179,5 @@ func (st *Store) compactOnce(p *sim.Proc) {
 		}
 	}
 	st.stats.Compactions++
+	st.obs.compactions.Inc()
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fs"
 	"repro/internal/jbd"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -83,6 +84,10 @@ type Config struct {
 	// this many barrier-committed groups the leader issues one fdatasync.
 	// Ignored on flush engines (every group commit is already durable).
 	CheckpointEvery int
+	// Metrics is an explicit observability registry; nil falls back to the
+	// process-wide live registry, and a nil resolution disables the store's
+	// instruments.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a small, flush-happy configuration that exercises
@@ -150,6 +155,14 @@ type manifestState struct {
 	segIDs     []int
 }
 
+// kvObs holds the store's registry instruments; all nil when disabled.
+type kvObs struct {
+	groupCommits *metrics.Counter
+	walBytes     *metrics.Counter
+	compactions  *metrics.Counter
+	groupSize    *metrics.Hist
+}
+
 // batch is one client submission waiting for the group-commit leader.
 type batch struct {
 	ops      []Op
@@ -164,6 +177,7 @@ type Store struct {
 	s   *core.Stack
 	k   *sim.Kernel
 	cfg Config
+	obs kvObs
 
 	wal      *fs.Inode
 	manifest *fs.Inode
@@ -223,6 +237,14 @@ func Open(p *sim.Proc, s *core.Stack, cfg Config) (*Store, error) {
 		manifestHist:  make(map[int64]manifestState),
 		nextSeq:       1,
 		barrierCommit: s.Profile.FS.Journal.Mode == jbd.ModeDual,
+	}
+	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
+		st.obs = kvObs{
+			groupCommits: reg.Counter("kvwal/group.commits"),
+			walBytes:     reg.Counter("kvwal/wal.bytes"),
+			compactions:  reg.Counter("kvwal/compactions"),
+			groupSize:    reg.Hist("kvwal/group.size"),
+		}
 	}
 	var err error
 	if st.wal, err = s.FS.Create(p, s.FS.Root(), walName); err != nil {
@@ -374,6 +396,7 @@ func (st *Store) committer(p *sim.Proc) {
 			groupOps += len(b2.ops)
 		}
 		st.groupID++
+		st.k.SpanBegin("kvwal", "group-commit", st.groupID)
 		for _, b := range group {
 			for i := range b.ops {
 				st.appendWAL(p, b.ops[i])
@@ -388,6 +411,9 @@ func (st *Store) committer(p *sim.Proc) {
 			st.s.FS.Fdatasync(p, st.wal)
 		}
 		st.stats.GroupCommits++
+		st.obs.groupCommits.Inc()
+		st.obs.groupSize.Observe(int64(groupOps))
+		st.k.SpanEnd("kvwal", "group-commit", st.groupID)
 		st.committedSeq = st.nextSeq - 1
 		if !st.barrierCommit {
 			st.durableSeq = st.committedSeq
@@ -440,6 +466,7 @@ func (st *Store) appendWAL(p *sim.Proc, op Op) {
 		seq: seq, group: st.groupID, kind: op.Kind, key: op.Key, slot: slot, ver: ver,
 	})
 	st.stats.WALRecords++
+	st.obs.walBytes.Add(4096)
 }
 
 // needFlush reports whether the memtable should be frozen: it is full, or

@@ -2,33 +2,51 @@ package metrics
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count. It is atomic so a live
+// snapshot reader (repro -live) can observe it while a parallel sweep bumps
+// it, and nil-safe so a layer without a registry pays one branch per event.
 type Counter struct {
 	name string
-	n    int64
+	n    atomic.Int64
 }
 
 // NewCounter returns a zeroed counter labelled name.
 func NewCounter(name string) *Counter { return &Counter{name: name} }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n.Add(1)
+}
 
 // Add adds delta.
-func (c *Counter) Add(delta int64) { c.n += delta }
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
 
 // Name returns the counter label.
 func (c *Counter) Name() string { return c.name }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.n = 0 }
+func (c *Counter) Reset() { c.n.Store(0) }
 
 // Rate converts an event count over a virtual-time window to events/second.
 // It is the IOPS / ops-per-second / Tx-per-second calculation used by every

@@ -74,10 +74,12 @@ func (r *LatencyRecorder) sortSamples() {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using the
-// nearest-rank method, or 0 with no samples.
+// nearest-rank method, or 0 with no samples. Out-of-range and NaN p clamp
+// to the valid range, so a single-sample recorder answers every percentile
+// with its one sample instead of indexing out of bounds.
 func (r *LatencyRecorder) Percentile(p float64) sim.Duration {
 	n := len(r.samples)
-	if n == 0 {
+	if n == 0 || math.IsNaN(p) {
 		return 0
 	}
 	r.sortSamples()
@@ -106,18 +108,29 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize produces the Table-1 style row for the recorder.
+// Summarize produces the Table-1 style row for the recorder. Every field is
+// sanitized to a finite number: an empty or single-sample recorder yields a
+// row of zeros / repeats of the one sample, never NaN or Inf — the row is
+// marshaled straight into `repro -json` output and NaN is not valid JSON.
 func (r *LatencyRecorder) Summarize() Summary {
 	return Summary{
 		Name:   r.name,
 		Count:  r.Count(),
-		Mean:   r.Mean().Millis(),
-		Median: r.Median().Millis(),
-		P99:    r.Percentile(99).Millis(),
-		P999:   r.Percentile(99.9).Millis(),
-		P9999:  r.Percentile(99.99).Millis(),
-		Max:    r.Max().Millis(),
+		Mean:   finite(r.Mean().Millis()),
+		Median: finite(r.Median().Millis()),
+		P99:    finite(r.Percentile(99).Millis()),
+		P999:   finite(r.Percentile(99.9).Millis()),
+		P9999:  finite(r.Percentile(99.99).Millis()),
+		Max:    finite(r.Max().Millis()),
 	}
+}
+
+// finite maps NaN and ±Inf to 0 so summaries stay JSON-encodable.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 func (s Summary) String() string {

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A nil registry and nil instruments are the disabled path every stack
+// layer runs on by default: every method must be a safe no-op.
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Hist("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	g.Inc()
+	g.Dec()
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 ||
+		h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v", got)
+	}
+	if r.KernelStats() != nil {
+		t.Error("nil registry must hand out nil kernel stats")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name must return the same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same name must return the same gauge")
+	}
+	if r.Hist("h") != r.Hist("h") {
+		t.Error("same name must return the same hist")
+	}
+	if r.KernelStats() != r.KernelStats() {
+		t.Error("kernel stats must be a singleton per registry")
+	}
+}
+
+func TestHistObserve(t *testing.T) {
+	h := NewHist("lat")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	h.Observe(-5) // clamped to 0, still counted
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %d, want 1000", h.Max())
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Errorf("q100 = %v, want max", q)
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 4 {
+		t.Errorf("q50 = %v, want within the low buckets", q)
+	}
+	if m := h.Mean(); math.Abs(m-1106.0/6) > 1e-9 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestSnapshotRows(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jbd/commits").Add(7)
+	r.Gauge("fs/dirty.pages").Set(42)
+	r.Hist("kvwal/group.size").Observe(4)
+	r.KernelStats().HandlerDispatches.Add(9)
+	snap := r.Snapshot()
+	got := make(map[string]Sample, len(snap))
+	for i, s := range snap {
+		got[s.Name] = s
+		if i > 0 && snap[i-1].Name > s.Name {
+			t.Fatalf("snapshot not sorted: %q after %q", s.Name, snap[i-1].Name)
+		}
+	}
+	checks := []struct {
+		name string
+		kind string
+		v    float64
+	}{
+		{"jbd/commits", "counter", 7},
+		{"fs/dirty.pages", "gauge", 42},
+		{"kvwal/group.size.count", "hist", 1},
+		{"kvwal/group.size.max", "hist", 4},
+		{"sim/dispatch.handler", "counter", 9},
+	}
+	for _, c := range checks {
+		s, ok := got[c.name]
+		if !ok {
+			t.Errorf("snapshot missing %s", c.name)
+			continue
+		}
+		if s.Kind != c.kind || s.Value != c.v {
+			t.Errorf("%s = {%s %v}, want {%s %v}", c.name, s.Kind, s.Value, c.kind, c.v)
+		}
+	}
+}
+
+func TestResolvePrecedence(t *testing.T) {
+	explicit := NewRegistry()
+	if Resolve(explicit) != explicit {
+		t.Error("explicit registry must win")
+	}
+	if Resolve(nil) != nil {
+		t.Error("no live registry: Resolve(nil) must be nil")
+	}
+	liveReg := NewRegistry()
+	SetLive(liveReg)
+	defer SetLive(nil)
+	if Resolve(nil) != liveReg {
+		t.Error("Resolve(nil) must fall back to the live registry")
+	}
+	if Resolve(explicit) != explicit {
+		t.Error("explicit registry must still win over live")
+	}
+}
+
+// Single-sample and empty recorders feed straight into -json rows: every
+// summary field must be a finite number, never NaN (json.Marshal rejects
+// NaN with an error, which would take down the whole report).
+func TestSummaryFieldsFinite(t *testing.T) {
+	finite := func(tag string, s Summary) {
+		t.Helper()
+		for name, v := range map[string]float64{
+			"mean": s.Mean, "max": s.Max, "median": s.Median,
+			"p99": s.P99, "p999": s.P999, "p9999": s.P9999,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v", tag, name, v)
+			}
+		}
+	}
+	empty := NewLatencyRecorder("empty")
+	finite("empty", empty.Summarize())
+
+	one := NewLatencyRecorder("one")
+	one.Record(3 * sim.Millisecond)
+	s := one.Summarize()
+	finite("single", s)
+	if s.Median != s.P99 || s.P99 != s.P9999 || s.Median != 3.0 {
+		t.Errorf("single-sample percentiles must all equal the sample: %+v", s)
+	}
+	if one.Percentile(math.NaN()) != 0 {
+		t.Error("Percentile(NaN) must be 0, not a panic or NaN")
+	}
+}

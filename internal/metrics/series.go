@@ -53,7 +53,8 @@ func (s *Series) ValueAt(t sim.Time) float64 {
 	return v
 }
 
-// Mean returns the time-weighted mean value over [from, to].
+// Mean returns the time-weighted mean value over [from, to]; 0 for an
+// empty or inverted window, never NaN.
 func (s *Series) Mean(from, to sim.Time) float64 {
 	if to <= from || len(s.points) == 0 {
 		return 0
@@ -109,6 +110,9 @@ func (s *Series) Sample(from, to sim.Time, n int) []Point {
 // with a bar proportional to the value. Good enough to see the Fig. 10
 // "queue stuck at 1" vs "queue saturates" contrast in a terminal.
 func (s *Series) AsciiPlot(from, to sim.Time, rows int, maxVal float64) string {
+	if maxVal <= 0 {
+		maxVal = 1 // flat series: plot against a unit scale, not NaN bars
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (time %v .. %v)\n", s.name, from, to)
 	for _, p := range s.Sample(from, to, rows) {

@@ -25,11 +25,26 @@ func SetEnabled(on bool) { disabled.Store(!on) }
 // Enabled reports whether For fans out.
 func Enabled() bool { return !disabled.Load() }
 
+// totalTasks and doneTasks feed the live-stats progress line: every For
+// call registers its cells up front and retires them as they finish, in
+// both the serial and parallel paths.
+var (
+	totalTasks atomic.Int64
+	doneTasks  atomic.Int64
+)
+
+// Progress returns the cumulative (done, total) cell counts across every
+// For call in the process so far. Safe from any goroutine.
+func Progress() (done, total int64) {
+	return doneTasks.Load(), totalTasks.Load()
+}
+
 // For runs fn(i) for every i in [0, n), on min(GOMAXPROCS, n) goroutines
 // when parallel execution is enabled, serially otherwise. It returns when
 // every call has finished. fn must confine its side effects to state owned
 // by index i.
 func For(n int, fn func(i int)) {
+	totalTasks.Add(int64(n))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -37,6 +52,7 @@ func For(n int, fn func(i int)) {
 	if !Enabled() || workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
+			doneTasks.Add(1)
 		}
 		return
 	}
@@ -52,6 +68,7 @@ func For(n int, fn func(i int)) {
 					return
 				}
 				fn(i)
+				doneTasks.Add(1)
 			}
 		}()
 	}

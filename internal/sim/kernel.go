@@ -51,6 +51,8 @@ type Kernel struct {
 	wg         sync.WaitGroup
 
 	tr *Trace
+	sp *SpanTrace
+	ks *KernelStats
 }
 
 // NewKernel returns an empty kernel at virtual time zero. Components built
@@ -146,7 +148,13 @@ func (k *Kernel) getWorker() *worker {
 		w := k.pool[n-1]
 		k.pool[n-1] = nil
 		k.pool = k.pool[:n-1]
+		if k.ks != nil {
+			k.ks.PoolHits.Add(1)
+		}
 		return w
+	}
+	if k.ks != nil {
+		k.ks.PoolMisses.Add(1)
 	}
 	w := &worker{k: k, resume: make(chan resumeMsg, 1)}
 	k.goroutines.Add(1)
@@ -189,6 +197,9 @@ func (k *Kernel) spawn(prefix string, idx int, fn func(p *Proc)) *Proc {
 	w.p = p
 	k.procs = append(k.procs, p)
 	k.live++
+	if k.ks != nil {
+		k.ks.Spawns.Add(1)
+	}
 	k.schedule(k.now, p)
 	return p
 }
@@ -227,6 +238,9 @@ func (k *Kernel) spawnHandler(prefix string, idx int, step func(h *Proc)) *Proc 
 	}
 	k.procs = append(k.procs, p)
 	k.live++
+	if k.ks != nil {
+		k.ks.HandlerSpawns.Add(1)
+	}
 	k.schedule(k.now, p)
 	return p
 }
@@ -296,11 +310,25 @@ func (k *Kernel) next() {
 		}
 		k.qpop()
 		if e.p.state == stateDead || e.token != e.p.token {
+			if k.ks != nil {
+				k.ks.StaleEvents.Add(1)
+			}
 			continue // stale wake-up
 		}
 		k.now = e.at
 		if k.tr != nil {
 			k.tr.record(e)
+		}
+		if k.ks != nil {
+			if e.p.step != nil {
+				k.ks.HandlerDispatches.Add(1)
+			} else {
+				k.ks.GoroutineDispatches.Add(1)
+			}
+		}
+		if k.sp != nil && k.sp.dispatches {
+			k.sp.recs = append(k.sp.recs,
+				spanRec{at: e.at, ph: 'i', cat: "sim", name: e.p.Name()})
 		}
 		p := e.p
 		k.cur = p
