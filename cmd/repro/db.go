@@ -41,7 +41,7 @@ type dbRun struct {
 // String fields are always identity; remaining numerics are metrics.
 var keyFieldInts = map[string]bool{
 	"clients": true, "streams": true, "hw_queues": true, "threads": true,
-	"channels": true, "crash_at_us": true,
+	"channels": true, "crash_at_us": true, "shards": true, "offered_kops": true,
 }
 
 // cellKey renders one row's identity: sorted key=value pairs.
@@ -191,6 +191,7 @@ func cmdTrend(args []string) error {
 	dbPath := fs.String("db", "bench.db", "results database to read")
 	cellGlob := fs.String("cell", "*", "only show cells matching this glob")
 	last := fs.Int("last", 0, "only show the last N runs (0 = all)")
+	band := fs.Bool("band", false, "append each cell's noise band (min/median/max over the shown runs)")
 	fs.Parse(args)
 	runs, err := readDB(*dbPath)
 	if err != nil {
@@ -236,20 +237,44 @@ func cmdTrend(args []string) error {
 	for _, r := range runs {
 		fmt.Printf("  %*s", colW, clip(r.Label, colW))
 	}
+	if *band {
+		fmt.Printf("  %*s", colW, "min/med/max")
+	}
 	fmt.Println()
 	for _, c := range cells {
 		fmt.Printf("%-*s", nameW, c)
+		var vals []float64
 		for _, r := range runs {
 			v, ok := r.Cells[c]
 			if !ok {
 				fmt.Printf("  %*s", colW, "-")
 			} else {
 				fmt.Printf("  %*s", colW, trimNum(v))
+				vals = append(vals, v)
 			}
+		}
+		if *band {
+			fmt.Printf("  %*s", colW, noiseBand(vals))
 		}
 		fmt.Println()
 	}
 	return nil
+}
+
+// noiseBand renders a cell's spread across the shown runs: min/median/max.
+// One recorded value has no spread yet; an absent cell has no band at all.
+func noiseBand(vals []float64) string {
+	if len(vals) == 0 {
+		return "-"
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	min, max := sorted[0], sorted[len(sorted)-1]
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	return fmt.Sprintf("%s/%s/%s", trimNum(min), trimNum(med), trimNum(max))
 }
 
 func clip(s string, w int) string {

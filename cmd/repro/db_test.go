@@ -92,3 +92,43 @@ func TestRecordAndReadDB(t *testing.T) {
 		t.Errorf("missing db: runs=%v err=%v", none, err)
 	}
 }
+
+func TestFlattenCellsKVCluster(t *testing.T) {
+	rep := jsonReport{
+		Experiments: []jsonExperiment{{
+			Name: "kvcluster",
+			Rows: []map[string]any{{
+				"config": "BFS-DR", "mode": "sharded",
+				"shards": 2.0, "offered_kops": 160.0,
+				"goodput_per_s": 150900.0, "p99_ms": 1.95,
+			}},
+		}},
+	}
+	cells := flattenCells(rep)
+	const key = "kvcluster/config=BFS-DR,mode=sharded,offered_kops=160,shards=2/goodput_per_s"
+	if got := cells[key]; got != 150900 {
+		t.Errorf("%s = %v, want 150900 (have %v)", key, got, cells)
+	}
+	// shards/offered_kops are identity, not metrics.
+	for name := range cells {
+		if name == "kvcluster/config=BFS-DR,mode=sharded,offered_kops=160,shards=2/shards" {
+			t.Errorf("identity field recorded as metric: %s", name)
+		}
+	}
+}
+
+func TestNoiseBand(t *testing.T) {
+	for _, tc := range []struct {
+		vals []float64
+		want string
+	}{
+		{nil, "-"},
+		{[]float64{3}, "3/3/3"},
+		{[]float64{4, 1, 3}, "1/3/4"},
+		{[]float64{4, 1, 3, 2}, "1/2.5/4"},
+	} {
+		if got := noiseBand(tc.vals); got != tc.want {
+			t.Errorf("noiseBand(%v) = %q, want %q", tc.vals, got, tc.want)
+		}
+	}
+}

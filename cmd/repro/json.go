@@ -157,6 +157,20 @@ func mqJSON(r experiments.MQScalingResult) []map[string]any {
 	return rows
 }
 
+func kvclusterJSON(r experiments.KVClusterResult) []map[string]any {
+	rows := make([]map[string]any, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, map[string]any{
+			"config": row.Config, "mode": row.Mode,
+			"shards": row.Shards, "offered_kops": row.OfferedKops,
+			"offered_per_s": row.OfferedPerS, "goodput_per_s": row.GoodputPerS,
+			"slo_pct": row.SLOPct, "shed_pct": row.ShedPct,
+			"p50_ms": row.P50, "p99_ms": row.P99, "p999_ms": row.P999,
+		})
+	}
+	return rows
+}
+
 func crashmcJSON(r experiments.CrashMCResult) []map[string]any {
 	rows := make([]map[string]any, 0, len(r.Rows))
 	for _, row := range r.Rows {

@@ -94,6 +94,32 @@ func (ls *liveStats) line() string {
 			fmt.Fprintf(&b, "  %s=%s", name, trimNum(v))
 		}
 	}
+	// kvcluster shards register per-shard admission instruments under a
+	// "kvcluster/shard=<i>/" prefix; the stderr line carries their
+	// cluster-wide sums (the per-shard breakdown is on -live-http).
+	var admitted, shed, inflight float64
+	for _, s := range samples {
+		if !strings.HasPrefix(s.Name, "kvcluster/shard=") {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "/admitted"):
+			admitted += s.Value
+		case strings.HasSuffix(s.Name, "/shed"):
+			shed += s.Value
+		case strings.HasSuffix(s.Name, "/inflight"):
+			inflight += s.Value
+		}
+	}
+	if admitted != 0 {
+		fmt.Fprintf(&b, "  kvcluster/admitted=%s", trimNum(admitted))
+	}
+	if shed != 0 {
+		fmt.Fprintf(&b, "  kvcluster/shed=%s", trimNum(shed))
+	}
+	if inflight != 0 {
+		fmt.Fprintf(&b, "  kvcluster/inflight=%s", trimNum(inflight))
+	}
 	return b.String()
 }
 

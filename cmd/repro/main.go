@@ -7,17 +7,20 @@
 //	      [-live 2s] [-live-http :8080]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof] [experiment ...]
 //	repro record [-db bench.db] [-label NAME] [-commit HASH] run.json ...
-//	repro trend  [-db bench.db] [-cell GLOB] [-last N]
+//	repro trend  [-db bench.db] [-cell GLOB] [-last N] [-band]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mq kv crash crashmc all. With no arguments, runs `all`. The `mq`
-// experiment is the multi-queue scaling table (per-stream epochs vs the
-// global total order) added on top of the paper's evaluation; `kv` is the
-// barrier-enabled key-value store (internal/kvwal): group-commit
+// mq kv kvcluster crash crashmc all. With no arguments, runs `all`. The
+// `mq` experiment is the multi-queue scaling table (per-stream epochs vs
+// the global total order) added on top of the paper's evaluation; `kv` is
+// the barrier-enabled key-value store (internal/kvwal): group-commit
 // throughput and latency across stacks plus its crash-consistency sweep;
-// `crashmc` is the crash-state model checker (internal/crashmc):
-// states-explored and violation counts per stack configuration, with
-// EXT4-nobarrier's reachable ordering violations as the positive control.
+// `kvcluster` is the sharded KV service (internal/kvcluster) under
+// open-loop Zipfian traffic: goodput and latency tail per (engine,
+// offered-load) cell at a fixed p99 SLO; `crashmc` is the crash-state
+// model checker (internal/crashmc): states-explored and violation counts
+// per stack configuration, with EXT4-nobarrier's reachable ordering
+// violations as the positive control.
 //
 // Independent sweep cells run one simulation kernel per CPU (disable with
 // -parallel=false, e.g. when profiling a single kernel). -json emits the
@@ -105,6 +108,10 @@ var runners = []runner{
 	{"kv", func(s experiments.Scale) (string, []map[string]any) {
 		r := experiments.KV(s)
 		return r.String(), kvJSON(r)
+	}},
+	{"kvcluster", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.KVCluster(s)
+		return r.String(), kvclusterJSON(r)
 	}},
 	{"crash", func(s experiments.Scale) (string, []map[string]any) {
 		return crashReport(s)

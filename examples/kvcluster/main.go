@@ -1,0 +1,45 @@
+// kvcluster example: a minimal 4-shard barrier-enabled KV service under
+// open-loop Zipfian traffic. Keys route to shards by consistent hashing,
+// each shard group-commits on its own BarrierFS stack, and an admission
+// controller bounds per-shard inflight requests, shedding the excess. The
+// run prints the SLO report: offered vs goodput, shed counts, the cluster
+// latency tail and the per-shard / per-tenant breakdowns — the same
+// numbers the `repro kvcluster` sweep records per cell.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kvcluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := kvcluster.Config{
+		Shards:  4,
+		Profile: core.BFSDR,
+		SLO:     2 * sim.Millisecond,
+	}
+	tr := kvcluster.Traffic{
+		Arrivals: workload.ArrivalConfig{
+			Kind:     workload.ArrivalBursty, // square-wave bursts over Poisson
+			RatePerS: 120_000,
+			Seed:     42,
+		},
+		Mix:       workload.Mix{ReadPct: 30, DeletePct: 10},
+		KeySpace:  8192,
+		ZipfTheta: 0.99, // YCSB-style hot keys
+		Tenants:   3,
+		Warmup:    4 * sim.Millisecond,
+		Duration:  20 * sim.Millisecond,
+	}
+	fmt.Printf("4-shard BFS-DR cluster, bursty Zipfian open-loop load at %.0f req/s\n\n",
+		tr.Arrivals.RatePerS)
+	res := kvcluster.Run(cfg, tr)
+	fmt.Print(res.Report())
+	fmt.Printf("\nbarrier group commit keeps the tail inside the %.1fms SLO at %.0f%% attainment;\n",
+		res.SLOms, res.SLOPct)
+	fmt.Println("rerun with Profile: core.EXT4DR to watch Transfer-and-Flush shed instead.")
+}

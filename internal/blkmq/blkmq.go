@@ -269,13 +269,16 @@ func (m *MQ) SubmitOrPark(h *sim.Proc, r *block.Request) bool {
 	return true
 }
 
-// spread scatters background writeback arriving on stream 0 over the data
+// spread scatters background writeback arriving on an ordering stream —
+// stream 0 or a per-shard order stream (block.OrderStream) — over the data
 // streams. Background writeback carries no ordering promise and nobody
-// waits on it, so it bypasses stream 0's barriers and congestion limit.
-// Keyed by LPA, not submitter, so a single pdflush daemon still spreads
-// across every data stream.
+// waits on it, so it bypasses the ordering stream's barriers and congestion
+// limit. Keyed by LPA, not submitter, so a single pdflush daemon still
+// spreads across every data stream; data streams are shared by every
+// tenant, which is safe precisely because spread writes are orderless.
 func (m *MQ) spread(r *block.Request) {
-	if m.cfg.SpreadOrderless && r.Stream == 0 && !r.Ordered() &&
+	if m.cfg.SpreadOrderless &&
+		(r.Stream == 0 || block.IsOrderStream(r.Stream)) && !r.Ordered() &&
 		r.Op == block.OpWrite && r.Flags.Has(block.FlagBackground) &&
 		r.Flags&(block.FlagFlush|block.FlagFUA) == 0 {
 		r.Stream = 1 + r.LPA%uint64(m.cfg.DataStreams)

@@ -88,6 +88,30 @@ type Request struct {
 	k         *sim.Kernel
 }
 
+// OrderStreamBase is the first stream ID of the order-stream range: the
+// per-shard ordering domains a multi-tenant filesystem stack claims on a
+// multi-queue device (one journal+foreground stream per shard, see
+// jbd.Config.Stream). The range sits far above the data streams the
+// multi-queue layer's background spreading uses (1..DataStreams), so the
+// two can never collide; and because OrderStreamBase is a multiple of
+// every realistic hardware-queue count, OrderStream(i) still lands on
+// hardware queue i mod M — shard ordering domains spread across dispatch
+// queues exactly like shard data streams do.
+const OrderStreamBase uint64 = 1 << 32
+
+// OrderStream returns the stream ID of order domain i (i >= 0). Domain 0
+// is stream 0 itself — the default global ordering domain — so
+// single-shard stacks are unchanged.
+func OrderStream(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return OrderStreamBase + uint64(i)
+}
+
+// IsOrderStream reports whether id names a non-default order domain.
+func IsOrderStream(id uint64) bool { return id >= OrderStreamBase }
+
 // Ordered reports whether the request is order-preserving (ordered or
 // barrier).
 func (r *Request) Ordered() bool { return r.Flags.Has(FlagOrdered) || r.Flags.Has(FlagBarrier) }

@@ -86,7 +86,7 @@ func (f *FS) Read(p *sim.Proc, i *Inode, idx int64) (int64, bool) {
 	if idx >= int64(len(i.blocks)) || i.blocks[idx] == 0 {
 		return 0, false
 	}
-	r := &block.Request{Op: block.OpRead, LPA: i.blocks[idx], PID: p.ID()}
+	r := &block.Request{Op: block.OpRead, LPA: i.blocks[idx], PID: p.ID(), Stream: f.stream}
 	f.layer.SubmitAndWait(p, r)
 	f.wake(p)
 	ver := int64(0)
@@ -166,9 +166,10 @@ func (i *Inode) takeDirty() []*page {
 func (f *FS) dataRequest(i *Inode, pg *page, flags block.Flags, pid int) *block.Request {
 	r := &block.Request{
 		Op: block.OpWrite, LPA: i.blocks[pg.idx],
-		Data:  PageData{Ino: i.ino, Idx: pg.idx, Ver: pg.ver},
-		Flags: flags,
-		PID:   pid,
+		Data:   PageData{Ino: i.ino, Idx: pg.idx, Ver: pg.ver},
+		Flags:  flags,
+		PID:    pid,
+		Stream: f.stream,
 	}
 	pg.dirty = false
 	pg.everSynced = true
@@ -195,17 +196,18 @@ func (i *Inode) trackInflight(r *block.Request) {
 }
 
 // waitCrossStream blocks until every in-flight writeback request of the
-// inode that rides a non-zero stream has transferred. The multi-queue layer
-// scatters background writeback onto data streams, where neither stream 0's
-// barriers nor its flush command can order or cover it — so the sync calls
-// fall back to Wait-on-Transfer for exactly those requests, like the
-// kernel's filemap_fdatawait. On the single-queue layer every request is on
-// stream 0 and this is a no-op.
+// inode that rides a stream other than the filesystem's own has
+// transferred. The multi-queue layer scatters background writeback onto
+// data streams, where neither the foreground stream's barriers nor its
+// flush command can order or cover it — so the sync calls fall back to
+// Wait-on-Transfer for exactly those requests, like the kernel's
+// filemap_fdatawait. On the single-queue layer every request is on the
+// filesystem's stream and this is a no-op.
 func (f *FS) waitCrossStream(p *sim.Proc, i *Inode) {
 	for {
 		var pending *block.Request
 		for _, r := range i.inflight {
-			if r.Stream != 0 && !r.Completed() {
+			if r.Stream != f.stream && !r.Completed() {
 				pending = r
 				break
 			}

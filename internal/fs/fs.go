@@ -209,6 +209,11 @@ type FS struct {
 	j     *jbd.Journal
 	opts  Options
 
+	// stream is the filesystem's order stream (opts.Journal.Stream): every
+	// foreground data write and read it issues is tagged with it, keeping a
+	// multi-tenant stack's shards in disjoint ordering domains.
+	stream uint64
+
 	inodes      map[Ino]*Inode
 	inodeList   []*Inode // ascending ino; deterministic whole-FS iteration
 	pdflushCond *sim.Cond
@@ -240,6 +245,7 @@ func New(k *sim.Kernel, layer block.Submitter, opts Options) *FS {
 	}
 	f := &FS{
 		k: k, layer: layer, opts: opts,
+		stream:  opts.Journal.Stream,
 		inodes:  make(map[Ino]*Inode),
 		byHome:  make(map[uint64]*Inode),
 		nextIno: RootIno + 1,

@@ -57,25 +57,35 @@ func (j *Journal) submitWaitAll(p *sim.Proc, reqs []*block.Request) {
 	}
 }
 
+// newReq draws a pooled request tagged with the journal's order stream.
+// Every request the journal issues goes through here so the whole journal
+// (JD/JC, delayed flushes, checkpoint copies, superblock) stays inside its
+// configured ordering domain.
+func (j *Journal) newReq() *block.Request {
+	r := j.reqPool.Get()
+	r.Stream = j.cfg.Stream
+	return r
+}
+
 // buildJD allocates journal slots and builds the descriptor+log requests
 // (the paper's JD chunk) and the commit request (JC) for t. The requests
 // come from the journal's pool; each engine releases them at its last use
 // (after the commit wait, or at completion for Dual-Mode's unwaited JD).
 func (j *Journal) buildJD(t *Txn) (jd []*block.Request, jc *block.Request) {
 	n := len(t.frozen)
-	desc := j.reqPool.Get()
+	desc := j.newReq()
 	desc.Op, desc.LPA = block.OpWrite, j.slotLPA(j.head)
 	desc.Data = DescBlock{TxnID: t.id, N: n}
 	j.head++
 	jd = append(jd, desc)
 	for i, l := range t.frozen {
-		r := j.reqPool.Get()
+		r := j.newReq()
 		r.Op, r.LPA = block.OpWrite, j.slotLPA(j.head)
 		r.Data = LogBlock{TxnID: t.id, Index: i, Home: l.home, Snapshot: l.data}
 		jd = append(jd, r)
 		j.head++
 	}
-	jc = j.reqPool.Get()
+	jc = j.newReq()
 	jc.Op, jc.LPA = block.OpWrite, j.slotLPA(j.head)
 	jc.Data = CommitBlock{TxnID: t.id, N: n}
 	j.head++
@@ -160,13 +170,13 @@ func (j *Journal) dualCommitThread(p *sim.Proc) {
 		}
 		j.freeze(t)
 		// Ordered-mode data riding another stream (background writeback the
-		// multi-queue layer spread off stream 0) is outside this journal's
-		// ordering domain: the {D, JD} epoch cannot cover it, so fall back
-		// to Wait-on-Transfer for exactly those requests. Stream-0 data
-		// stays wait-free — the JD barrier orders it (Eq. 3), which is the
-		// single-queue behaviour unchanged.
+		// multi-queue layer spread off the journal's stream) is outside this
+		// journal's ordering domain: the {D, JD} epoch cannot cover it, so
+		// fall back to Wait-on-Transfer for exactly those requests. Data on
+		// the journal's own stream stays wait-free — the JD barrier orders
+		// it (Eq. 3), which is the single-queue behaviour unchanged.
 		for _, d := range t.dataDeps {
-			if d.Stream != 0 && !d.Completed() {
+			if d.Stream != j.cfg.Stream && !d.Completed() {
 				d.Wait(p)
 				j.wake(p)
 			}
@@ -332,7 +342,7 @@ func (j *Journal) delayedFlushStep(h *sim.Proc) {
 				s.phase = dfIdle
 				continue
 			}
-			s.req = j.reqPool.Get()
+			s.req = j.newReq()
 			s.req.Op = block.OpFlush
 			s.phase = dfSubmit
 		case dfSubmit:
@@ -480,7 +490,7 @@ func (j *Journal) checkpointThread(p *sim.Proc) {
 		}
 		var reqs []*block.Request
 		for _, h := range order {
-			r := j.reqPool.Get()
+			r := j.newReq()
 			r.Op, r.LPA, r.Data = block.OpWrite, h, homes[h]
 			reqs = append(reqs, r)
 		}
@@ -490,7 +500,7 @@ func (j *Journal) checkpointThread(p *sim.Proc) {
 		j.layer.Flush(p)
 		j.wake(p)
 		j.tailTxn = batch[len(batch)-1].id + 1
-		sb := j.reqPool.Get()
+		sb := j.newReq()
 		sb.Op, sb.LPA = block.OpWrite, j.cfg.SuperLPA
 		sb.Data = SuperBlock{TailTxn: j.tailTxn}
 		sb.Flags = block.FlagFUA

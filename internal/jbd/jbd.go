@@ -64,6 +64,14 @@ type Config struct {
 	WakeLatency sim.Duration
 	// FlushInterval, for ModeOptFS, is the delayed-durability flush period.
 	FlushInterval sim.Duration
+	// Stream is the block-layer ordering domain every journal request rides
+	// (block.Request.Stream). 0 — the default — is the global ordering
+	// domain of the single-queue layer. A multi-tenant stack on one
+	// multi-queue device gives each mounted filesystem its own order stream
+	// (block.OrderStream) so the tenants' barriers never drain each other's
+	// traffic; the filesystem layer tags its foreground data and reads with
+	// the same stream (see fs.Options).
+	Stream uint64
 	// Metrics is an explicit observability registry; nil falls back to the
 	// process-wide live registry, and a nil resolution disables the
 	// journal's instruments.

@@ -1,0 +1,457 @@
+// Package kvcluster is a sharded, barrier-enabled key-value service under
+// open-loop planetary traffic: N kvwal stores behind a consistent-hash
+// router, each shard group-committing on its own barrier-enabled IO stack.
+// Two deployment shapes map the shards onto hardware:
+//
+//   - ShardedStacks: one simulated device + stack per shard (one kernel
+//     each, fanned out with internal/par) — the scale-out rack.
+//   - MQStreams: every shard is a filesystem mounted on ONE multi-queue
+//     device, each with its own journal area and its own block-layer order
+//     stream (block.OrderStream(i)), so per-shard barriers constrain only
+//     that shard's epoch stream — the paper's multi-stream SSD shape.
+//
+// Traffic is open loop: arrivals are offered at their own pace (Poisson,
+// bursty or diurnal), keys are Zipfian, and an admission controller bounds
+// per-shard inflight requests, shedding (and counting) the excess instead
+// of letting the closed-loop illusion hide queueing collapse. The payoff
+// under test: at equal p99 SLO, barrier-engine shards sustain more goodput
+// than Transfer-and-Flush shards, because each group commit costs a
+// dispatch instead of a flush round trip.
+package kvcluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fs"
+	"repro/internal/jbd"
+	"repro/internal/kvwal"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Mode selects how shards map onto simulated hardware.
+type Mode int
+
+// Deployment shapes.
+const (
+	// ShardedStacks gives every shard its own device and IO stack in its
+	// own kernel.
+	ShardedStacks Mode = iota
+	// MQStreams mounts every shard as a filesystem on one shared
+	// multi-queue device, each on its own order stream.
+	MQStreams
+)
+
+func (m Mode) String() string {
+	if m == MQStreams {
+		return "mq-streams"
+	}
+	return "sharded"
+}
+
+// mqShardStride is the LPA stride between shard filesystems in MQStreams
+// mode: shard i's journal superblock sits at i*stride and its data area
+// grows within the stride (1M pages ≈ 4 GiB, far beyond any run here).
+const mqShardStride uint64 = 1 << 20
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Shards is the shard count (default 4).
+	Shards int
+	// Mode is the deployment shape.
+	Mode Mode
+	// Profile builds the per-shard stack profile (default core.BFSDR; in
+	// MQStreams mode MQQueues is forced on if the profile leaves it 0).
+	Profile func(device.Config) core.Profile
+	// Device builds a device config (default device.NVMeSSD).
+	Device func() device.Config
+	// Store is the per-shard kvwal configuration.
+	Store kvwal.Config
+	// VNodes is the consistent-hash virtual node count per shard
+	// (default 64).
+	VNodes int
+	// InflightCap is the admission controller's per-shard outstanding
+	// request bound; arrivals beyond it are shed and counted (default 64).
+	InflightCap int
+	// SLO is the per-request latency objective goodput is measured
+	// against (default 2ms).
+	SLO sim.Duration
+	// Metrics is an explicit observability registry; nil falls back to
+	// the process-wide live registry. Shards register their admission
+	// instruments under a "kvcluster/shard=<i>/" prefix.
+	Metrics *metrics.Registry
+	// NewKernel builds the shard kernels (default sim.NewKernel); the
+	// experiment driver injects its span-capturing choke point here.
+	NewKernel func(label string) *sim.Kernel
+}
+
+// DefaultConfig returns a cluster of shards BFS-DR stacks.
+func DefaultConfig(shards int) Config {
+	return Config{Shards: shards}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Profile == nil {
+		c.Profile = core.BFSDR
+	}
+	if c.Device == nil {
+		c.Device = device.NVMeSSD
+	}
+	if c.Store.WALPages == 0 {
+		c.Store = kvwal.DefaultConfig()
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.InflightCap <= 0 {
+		c.InflightCap = 64
+	}
+	if c.SLO <= 0 {
+		c.SLO = 2 * sim.Millisecond
+	}
+	if c.NewKernel == nil {
+		c.NewKernel = func(string) *sim.Kernel { return sim.NewKernel() }
+	}
+	return c
+}
+
+// ShardStats is one shard's measured-window admission and latency outcome.
+type ShardStats struct {
+	Shard    int
+	Offered  int64
+	Admitted int64
+	Shed     int64
+	Done     int64
+	Good     int64 // completed within SLO
+	P99      float64
+}
+
+// TenantStats is one tenant's SLO accounting: shed requests count against
+// the SLO (an unserved request cannot have met it).
+type TenantStats struct {
+	Tenant  int
+	Offered int64
+	Good    int64
+	P50     float64
+	P99     float64
+	SLOPct  float64
+}
+
+// Result is one cluster run's measured-window outcome.
+type Result struct {
+	Engine      string
+	Mode        Mode
+	Shards      int
+	OfferedPerS float64
+	SLOms       float64
+	Offered     int64
+	Admitted    int64
+	Shed        int64
+	Done        int64
+	Good        int64
+	GoodputPerS float64
+	SLOPct      float64
+	Latency     metrics.Summary
+	PerShard    []ShardStats
+	PerTenant   []TenantStats
+}
+
+// Report renders a human-readable SLO report.
+func (r Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kvcluster %s (%s, %d shards) offered %.0f req/s, SLO %.2fms\n",
+		r.Engine, r.Mode, r.Shards, r.OfferedPerS, r.SLOms)
+	fmt.Fprintf(&b, "  offered=%d admitted=%d shed=%d done=%d good=%d\n",
+		r.Offered, r.Admitted, r.Shed, r.Done, r.Good)
+	fmt.Fprintf(&b, "  goodput %.0f req/s  SLO-attainment %.1f%%  p50=%.3fms p99=%.3fms p99.9=%.3fms\n",
+		r.GoodputPerS, r.SLOPct, r.Latency.Median, r.Latency.P99, r.Latency.P999)
+	for _, s := range r.PerShard {
+		fmt.Fprintf(&b, "  shard %d: offered=%d shed=%d good=%d p99=%.3fms\n",
+			s.Shard, s.Offered, s.Shed, s.Good, s.P99)
+	}
+	for _, t := range r.PerTenant {
+		fmt.Fprintf(&b, "  tenant %d: offered=%d good=%d p50=%.3fms p99=%.3fms slo=%.1f%%\n",
+			t.Tenant, t.Offered, t.Good, t.P50, t.P99, t.SLOPct)
+	}
+	return b.String()
+}
+
+// latSample is one measured-window completion.
+type latSample struct {
+	tenant int
+	d      sim.Duration
+	good   bool
+}
+
+// shardOutcome collects one shard's measured-window results.
+type shardOutcome struct {
+	admitted int64
+	shed     int64
+	samples  []latSample
+}
+
+// shardRun is the live handle the drain loop polls.
+type shardRun struct {
+	dispatched  bool
+	outstanding int
+}
+
+func (s *shardRun) idle() bool { return s.dispatched && s.outstanding == 0 }
+
+// spawnShard wires one shard's daemons into kernel k: an opener, an
+// open-loop dispatcher replaying the shard's arrival slice with
+// shed-and-count admission control, and InflightCap workers executing
+// routed operations against the store.
+func spawnShard(k *sim.Kernel, idx int, open func(p *sim.Proc) (*kvwal.Store, error),
+	reqs []Request, cfg Config, tr Traffic, out *shardOutcome) *shardRun {
+	run := &shardRun{}
+	q := sim.NewQueue[Request](k)
+	var st *kvwal.Store
+	ready := false
+
+	var admitted, shed *metrics.Counter
+	var inflight *metrics.Gauge
+	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
+		pfx := fmt.Sprintf("kvcluster/shard=%d/", idx)
+		admitted = reg.Counter(pfx + "admitted")
+		shed = reg.Counter(pfx + "shed")
+		inflight = reg.Gauge(pfx + "inflight")
+	}
+
+	k.SpawnIdx("kvc/open", idx, func(p *sim.Proc) {
+		s, err := open(p)
+		if err != nil {
+			panic(err)
+		}
+		st = s
+		ready = true
+	})
+
+	k.SpawnIdx("kvc/dispatch", idx, func(p *sim.Proc) {
+		for !ready {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		for _, r := range reqs {
+			if r.At > p.Now() {
+				p.Sleep(sim.Duration(r.At - p.Now()))
+			}
+			if run.outstanding >= cfg.InflightCap {
+				shed.Inc()
+				if r.measured(tr) {
+					out.shed++
+				}
+				continue
+			}
+			run.outstanding++
+			inflight.Inc()
+			admitted.Inc()
+			if r.measured(tr) {
+				out.admitted++
+			}
+			q.Put(r)
+		}
+		run.dispatched = true
+	})
+
+	for w := 0; w < cfg.InflightCap; w++ {
+		k.SpawnIdx("kvc/worker", idx*cfg.InflightCap+w, func(p *sim.Proc) {
+			for {
+				r, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				switch r.Class {
+				case workload.ClassGet:
+					st.Get(p, r.Key)
+				case workload.ClassDelete:
+					st.DeleteKey(p, r.Key)
+				default:
+					st.PutKey(p, r.Key)
+				}
+				lat := sim.Duration(p.Now() - r.At)
+				run.outstanding--
+				inflight.Dec()
+				if r.measured(tr) {
+					out.samples = append(out.samples, latSample{
+						tenant: r.Tenant, d: lat, good: lat <= cfg.SLO,
+					})
+				}
+			}
+		})
+	}
+	return run
+}
+
+// drive runs the kernel to the end of the offered window, then drains:
+// admitted requests still in flight complete on simulated time, bounded by
+// a drain cap so a wedged shard cannot hang the run.
+func drive(k *sim.Kernel, runs []*shardRun, end sim.Time) {
+	k.RunUntil(end)
+	deadline := end.Add(100 * sim.Millisecond)
+	for k.Now() < deadline {
+		idle := true
+		for _, r := range runs {
+			if !r.idle() {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return
+		}
+		k.RunUntil(k.Now().Add(sim.Millisecond))
+	}
+}
+
+// Run drives one cluster under one traffic description and reports the
+// measured-window outcome. Everything is deterministic under the traffic
+// seed: the request stream is pre-generated, partitioned by the ring, and
+// replayed open loop per shard.
+func Run(cfg Config, tr Traffic) Result {
+	cfg = cfg.withDefaults()
+	tr = tr.withDefaults()
+	reqs := tr.Generate()
+	ring := NewRing(cfg.Shards, cfg.VNodes)
+	parts := Partition(reqs, ring)
+	outs := make([]shardOutcome, cfg.Shards)
+	engine := cfg.Profile(cfg.Device()).Name
+	end := sim.Time(tr.Warmup + tr.Duration)
+
+	switch cfg.Mode {
+	case MQStreams:
+		runMQStreams(cfg, tr, parts, outs, end)
+	default:
+		par.For(cfg.Shards, func(i int) {
+			runShardStack(cfg, tr, i, parts[i], &outs[i], end)
+		})
+	}
+	return aggregate(cfg, tr, engine, parts, outs)
+}
+
+// runShardStack runs one shard on its own device, stack and kernel.
+func runShardStack(cfg Config, tr Traffic, idx int, reqs []Request,
+	out *shardOutcome, end sim.Time) {
+	prof := cfg.Profile(cfg.Device())
+	if prof.Metrics == nil {
+		prof.Metrics = cfg.Metrics
+	}
+	k := cfg.NewKernel(fmt.Sprintf("kvcluster/%s/shard%d", prof.Name, idx))
+	defer k.Close()
+	s := core.NewStack(k, prof)
+	run := spawnShard(k, idx, func(p *sim.Proc) (*kvwal.Store, error) {
+		return kvwal.Open(p, s, cfg.Store)
+	}, reqs, cfg, tr, out)
+	drive(k, []*shardRun{run}, end)
+}
+
+// runMQStreams runs every shard as a filesystem on one shared multi-queue
+// device: shard i's journal lives at LPA i*stride and rides order stream
+// block.OrderStream(i), so barriers order only their own shard's epochs
+// while all shards share the device's hardware queues.
+func runMQStreams(cfg Config, tr Traffic, parts [][]Request,
+	outs []shardOutcome, end sim.Time) {
+	prof := cfg.Profile(cfg.Device())
+	if prof.MQQueues == 0 {
+		prof.MQQueues = 4
+	}
+	if prof.Metrics == nil {
+		prof.Metrics = cfg.Metrics
+	}
+	k := cfg.NewKernel(fmt.Sprintf("kvcluster/%s/mq-streams", prof.Name))
+	defer k.Close()
+	s := core.NewStack(k, prof)
+	barrier := prof.FS.Journal.Mode == jbd.ModeDual
+	runs := make([]*shardRun, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		fsys := s.FS
+		if i > 0 {
+			opts := prof.FS
+			base := uint64(i) * mqShardStride
+			opts.Journal.SuperLPA = base
+			opts.Journal.Start = base + 1
+			opts.Journal.Stream = block.OrderStream(i)
+			fsys = fs.New(k, s.Front, opts)
+		}
+		mount := fsys
+		runs[i] = spawnShard(k, i, func(p *sim.Proc) (*kvwal.Store, error) {
+			return kvwal.OpenFS(p, mount, barrier, cfg.Store)
+		}, parts[i], cfg, tr, &outs[i])
+	}
+	drive(k, runs, end)
+}
+
+// aggregate folds per-shard outcomes into the cluster result.
+func aggregate(cfg Config, tr Traffic, engine string,
+	parts [][]Request, outs []shardOutcome) Result {
+	res := Result{
+		Engine: engine, Mode: cfg.Mode, Shards: cfg.Shards,
+		SLOms: float64(cfg.SLO) / float64(sim.Millisecond),
+	}
+	cluster := metrics.NewLatencyRecorder("kvcluster/latency")
+	tenantOffered := make([]int64, tr.withDefaults().Tenants)
+	tenantGood := make([]int64, len(tenantOffered))
+	tenantRec := make([]*metrics.LatencyRecorder, len(tenantOffered))
+	for i := range tenantRec {
+		tenantRec[i] = metrics.NewLatencyRecorder(fmt.Sprintf("kvcluster/tenant=%d", i))
+	}
+	for i, out := range outs {
+		shardRec := metrics.NewLatencyRecorder(fmt.Sprintf("kvcluster/shard=%d", i))
+		var offered, good int64
+		for _, r := range parts[i] {
+			if r.measured(tr) {
+				offered++
+				tenantOffered[r.Tenant]++
+			}
+		}
+		for _, s := range out.samples {
+			cluster.Record(s.d)
+			shardRec.Record(s.d)
+			tenantRec[s.tenant].Record(s.d)
+			if s.good {
+				good++
+				tenantGood[s.tenant]++
+			}
+		}
+		res.Offered += offered
+		res.Admitted += out.admitted
+		res.Shed += out.shed
+		res.Done += int64(len(out.samples))
+		res.Good += good
+		res.PerShard = append(res.PerShard, ShardStats{
+			Shard: i, Offered: offered, Admitted: out.admitted,
+			Shed: out.shed, Done: int64(len(out.samples)), Good: good,
+			P99: shardRec.Summarize().P99,
+		})
+	}
+	res.Latency = cluster.Summarize()
+	res.OfferedPerS = metrics.Rate(res.Offered, tr.Duration)
+	res.GoodputPerS = metrics.Rate(res.Good, tr.Duration)
+	if res.Offered > 0 {
+		res.SLOPct = 100 * float64(res.Good) / float64(res.Offered)
+	}
+	for t := range tenantOffered {
+		sum := tenantRec[t].Summarize()
+		ts := TenantStats{
+			Tenant: t, Offered: tenantOffered[t], Good: tenantGood[t],
+			P50: sum.Median, P99: sum.P99,
+		}
+		if ts.Offered > 0 {
+			ts.SLOPct = 100 * float64(ts.Good) / float64(ts.Offered)
+		}
+		res.PerTenant = append(res.PerTenant, ts)
+	}
+	sort.Slice(res.PerTenant, func(i, j int) bool {
+		return res.PerTenant[i].Tenant < res.PerTenant[j].Tenant
+	})
+	return res
+}

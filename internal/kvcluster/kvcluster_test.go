@@ -1,0 +1,158 @@
+package kvcluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a, b := NewRing(4, 64), NewRing(4, 64)
+	counts := make([]int, 4)
+	for i := 0; i < 10_000; i++ {
+		key := fmt.Sprintf("u%07d", i)
+		if a.Shard(key) != b.Shard(key) {
+			t.Fatalf("ring not deterministic for %s", key)
+		}
+		counts[a.Shard(key)]++
+	}
+	for s, c := range counts {
+		if c < 1500 || c > 3500 {
+			t.Errorf("shard %d owns %d of 10000 keys, want near 2500", s, c)
+		}
+	}
+}
+
+// Consistent hashing's point: dropping one shard must remap only roughly
+// that shard's share of the keyspace, not reshuffle everything.
+func TestRingStabilityUnderResize(t *testing.T) {
+	big, small := NewRing(8, 64), NewRing(7, 64)
+	moved := 0
+	const keys = 10_000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("u%07d", i)
+		sb, ss := big.Shard(key), small.Shard(key)
+		if sb != 7 && sb != ss {
+			moved++
+		}
+	}
+	// Keys not owned by the removed shard should mostly stay put (vnode
+	// granularity leaks a little).
+	if frac := float64(moved) / keys; frac > 0.05 {
+		t.Errorf("%.1f%% of surviving keys moved on resize, want < 5%%", frac*100)
+	}
+}
+
+func TestTrafficGenerateAndPartition(t *testing.T) {
+	tr := Traffic{
+		Arrivals:  workload.ArrivalConfig{RatePerS: 100_000, Seed: 3},
+		Mix:       workload.Mix{ReadPct: 30, DeletePct: 10},
+		KeySpace:  4096,
+		ZipfTheta: 0.99,
+		Tenants:   3,
+		Warmup:    2 * sim.Millisecond,
+		Duration:  10 * sim.Millisecond,
+	}
+	a, b := tr.Generate(), tr.Generate()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("generate not deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	ring := NewRing(4, 64)
+	parts := Partition(a, ring)
+	total := 0
+	for s, part := range parts {
+		total += len(part)
+		prev := sim.Time(0)
+		for _, r := range part {
+			if ring.Shard(r.Key) != s {
+				t.Fatalf("request %+v misrouted to shard %d", r, s)
+			}
+			if r.At < prev {
+				t.Fatalf("shard %d slice not ascending", s)
+			}
+			prev = r.At
+		}
+	}
+	if total != len(a) {
+		t.Fatalf("partition dropped requests: %d of %d", total, len(a))
+	}
+}
+
+func smallTraffic(rate float64) Traffic {
+	return Traffic{
+		Arrivals:  workload.ArrivalConfig{RatePerS: rate, Seed: 11},
+		Mix:       workload.Mix{ReadPct: 20, DeletePct: 10},
+		KeySpace:  2048,
+		ZipfTheta: 0.9,
+		Tenants:   2,
+		Warmup:    4 * sim.Millisecond,
+		Duration:  10 * sim.Millisecond,
+	}
+}
+
+func TestClusterShardedStacksRuns(t *testing.T) {
+	cfg := Config{Shards: 2, Profile: core.BFSDR}
+	res := Run(cfg, smallTraffic(40_000))
+	if res.Offered == 0 || res.Done == 0 {
+		t.Fatalf("no measured traffic: %+v", res)
+	}
+	if res.Admitted+res.Shed != res.Offered {
+		t.Errorf("admission accounting broken: admitted %d + shed %d != offered %d",
+			res.Admitted, res.Shed, res.Offered)
+	}
+	if res.Done > res.Admitted {
+		t.Errorf("done %d exceeds admitted %d", res.Done, res.Admitted)
+	}
+	if res.Latency.P99 <= 0 {
+		t.Errorf("no latency distribution: %+v", res.Latency)
+	}
+	if len(res.PerShard) != 2 || len(res.PerTenant) != 2 {
+		t.Errorf("missing breakdowns: %d shards, %d tenants",
+			len(res.PerShard), len(res.PerTenant))
+	}
+	// Deterministic end to end.
+	res2 := Run(cfg, smallTraffic(40_000))
+	if res.Good != res2.Good || res.Done != res2.Done || res.Shed != res2.Shed {
+		t.Errorf("run not deterministic: %+v vs %+v", res, res2)
+	}
+}
+
+func TestClusterMQStreamsRuns(t *testing.T) {
+	cfg := Config{Shards: 3, Mode: MQStreams, Profile: core.BFSMQ}
+	res := Run(cfg, smallTraffic(30_000))
+	if res.Offered == 0 || res.Done == 0 {
+		t.Fatalf("no measured traffic: %+v", res)
+	}
+	if res.Admitted+res.Shed != res.Offered {
+		t.Errorf("admission accounting broken: %+v", res)
+	}
+	if got := len(res.PerShard); got != 3 {
+		t.Errorf("want 3 shard rows, got %d", got)
+	}
+	for _, s := range res.PerShard {
+		if s.Done == 0 {
+			t.Errorf("shard %d executed nothing (stream isolation broken?)", s.Shard)
+		}
+	}
+}
+
+// Overload with a tiny admission window must shed rather than queue without
+// bound, and everything still has to add up.
+func TestAdmissionControlSheds(t *testing.T) {
+	cfg := Config{Shards: 1, Profile: core.EXT4DR, InflightCap: 2}
+	res := Run(cfg, smallTraffic(120_000))
+	if res.Shed == 0 {
+		t.Fatalf("expected shedding under overload: %+v", res)
+	}
+	if res.Admitted+res.Shed != res.Offered {
+		t.Errorf("admission accounting broken: %+v", res)
+	}
+}

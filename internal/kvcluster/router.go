@@ -1,0 +1,86 @@
+package kvcluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Consistent-hash routing. Each shard owns VNodes points on a 64-bit hash
+// ring; a key routes to the shard owning the first point at or after the
+// key's hash. Virtual nodes keep the per-shard key share within a few
+// percent of uniform, and — the property consistent hashing is for —
+// adding or removing one shard remaps only the keys adjacent to its
+// points, not the whole space. Hashing is FNV-1a with fixed constants, so
+// placement is deterministic across runs and processes.
+
+// Ring is a consistent-hash ring over a fixed shard count.
+type Ring struct {
+	shards int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// fnv1a hashes s with 64-bit FNV-1a, then runs the result through a
+// splitmix64-style finalizer: raw FNV over near-identical short strings
+// (vnode labels differ in one digit) clusters on the ring, and balance
+// needs the high bits well mixed.
+func fnv1a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NewRing builds a ring of shards * vnodes points (vnodes <= 0 means 64).
+func NewRing(shards, vnodes int) *Ring {
+	if shards <= 0 {
+		shards = 1
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  fnv1a(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare, but determinism must not hinge on
+		// sort stability): lower shard wins.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard routes a key: binary search for the first point at or after the
+// key's hash, wrapping to the first point past the top of the ring.
+func (r *Ring) Shard(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

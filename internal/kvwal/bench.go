@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // BenchConfig parameterizes a throughput run.
@@ -23,7 +24,11 @@ type BenchConfig struct {
 	// GetEvery issues one read per client every GetEvery batches (0 = no
 	// reads).
 	GetEvery int
-	Seed     int64
+	// ZipfTheta, when positive, draws keys with Zipfian popularity of that
+	// skew from the shared open-loop generator (workload.NewZipf) instead of
+	// uniformly — the YCSB-style hot-key regime.
+	ZipfTheta float64
+	Seed      int64
 }
 
 // DefaultBenchConfig returns the standard many-client commit workload.
@@ -79,6 +84,16 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg BenchConfig, duration sim.Duration)
 		c := c
 		k.SpawnIdx("kv/client", c, func(p *sim.Proc) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			var zipf *workload.Zipf
+			if cfg.ZipfTheta > 0 {
+				zipf = workload.NewZipf(cfg.Seed+int64(c), cfg.KeySpace, cfg.ZipfTheta)
+			}
+			key := func() string {
+				if zipf != nil {
+					return fmt.Sprintf("k%05d", zipf.Next())
+				}
+				return fmt.Sprintf("k%05d", rng.Intn(cfg.KeySpace))
+			}
 			for !ready {
 				p.Sleep(sim.Millisecond)
 			}
@@ -89,7 +104,7 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg BenchConfig, duration sim.Duration)
 					if rng.Intn(100) < cfg.DeletePct {
 						kind = Delete
 					}
-					batch[i] = Op{Kind: kind, Key: fmt.Sprintf("k%05d", rng.Intn(cfg.KeySpace))}
+					batch[i] = Op{Kind: kind, Key: key()}
 				}
 				t0 := p.Now()
 				st.Apply(p, batch)
@@ -98,7 +113,7 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg BenchConfig, duration sim.Duration)
 					rec.Record(sim.Duration(p.Now() - t0))
 				}
 				if cfg.GetEvery > 0 && n%cfg.GetEvery == cfg.GetEvery-1 {
-					st.Get(p, fmt.Sprintf("k%05d", rng.Intn(cfg.KeySpace)))
+					st.Get(p, key())
 				}
 			}
 		})

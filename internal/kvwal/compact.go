@@ -65,24 +65,24 @@ func (st *Store) writeSegment(p *sim.Proc, ents []segEnt) *segment {
 	seg := &segment{id: st.nextSegID, byKey: make(map[string]int, len(ents))}
 	st.nextSegID++
 	seg.name = segName(seg.id)
-	f, err := st.s.FS.Create(p, st.s.FS.Root(), seg.name)
+	f, err := st.fs.Create(p, st.fs.Root(), seg.name)
 	if err != nil {
 		panic("kvwal: " + err.Error())
 	}
 	var inflight []*block.Request
 	for i := range ents {
 		ents[i].page = int64(i)
-		st.s.FS.Write(p, f, int64(i))
-		ver, _ := st.s.FS.PageVer(f, int64(i))
+		st.fs.Write(p, f, int64(i))
+		ver, _ := st.fs.PageVer(f, int64(i))
 		ents[i].ver = ver
 		seg.byKey[ents[i].key] = i
 		// Push pages out in background-sized clumps rather than one giant
 		// dirty set, to keep the writeback stream busy while we fill.
 		if i%16 == 15 {
-			inflight = append(inflight, st.s.FS.WritebackAsync(p, f)...)
+			inflight = append(inflight, st.fs.WritebackAsync(p, f)...)
 		}
 	}
-	inflight = append(inflight, st.s.FS.WritebackAsync(p, f)...)
+	inflight = append(inflight, st.fs.WritebackAsync(p, f)...)
 	// filemap_fdatawait: background writeback is marked clean at submission
 	// and carries no ordering promise, so the coming fdatasync cannot see or
 	// cover what is still queued. A background thread can afford the
@@ -92,7 +92,7 @@ func (st *Store) writeSegment(p *sim.Proc, ents []segEnt) *segment {
 			r.Wait(p)
 		}
 	}
-	st.s.FS.Fdatasync(p, f) // allocation metadata + cache flush: durable
+	st.fs.Fdatasync(p, f) // allocation metadata + cache flush: durable
 	seg.entries = ents
 	st.segByID[seg.id] = seg
 	return seg
@@ -116,10 +116,10 @@ func (st *Store) writeManifest(p *sim.Proc, checkpoint uint64) {
 	for i, s := range st.segs {
 		ids[i] = s.id
 	}
-	st.s.FS.Write(p, st.manifest, 0)
-	ver, _ := st.s.FS.PageVer(st.manifest, 0)
+	st.fs.Write(p, st.manifest, 0)
+	ver, _ := st.fs.PageVer(st.manifest, 0)
 	st.manifestHist[ver] = manifestState{checkpoint: checkpoint, segIDs: ids}
-	st.s.FS.Fdatasync(p, st.manifest)
+	st.fs.Fdatasync(p, st.manifest)
 	st.manifestSem.Release(1)
 }
 
@@ -145,7 +145,7 @@ func (st *Store) compactOnce(p *sim.Proc) {
 	for _, seg := range inputs { // oldest first: later entries overwrite
 		f := st.fileOf(seg)
 		for _, e := range seg.entries {
-			st.s.FS.Read(p, f, e.page)
+			st.fs.Read(p, f, e.page)
 			if cur, ok := newest[e.key]; !ok || e.seq > cur.seq {
 				newest[e.key] = e
 			}
@@ -174,7 +174,7 @@ func (st *Store) compactOnce(p *sim.Proc) {
 	st.segs = append(st.segs, tail...)
 	st.writeManifest(p, st.checkpointSeq)
 	for _, seg := range inputs {
-		if err := st.s.FS.Unlink(p, st.s.FS.Root(), seg.name); err != nil {
+		if err := st.fs.Unlink(p, st.fs.Root(), seg.name); err != nil {
 			panic("kvwal: " + err.Error())
 		}
 	}

@@ -174,7 +174,7 @@ type batch struct {
 
 // Store is one open key-value store.
 type Store struct {
-	s   *core.Stack
+	fs  *fs.FS
 	k   *sim.Kernel
 	cfg Config
 	obs kvObs
@@ -217,8 +217,17 @@ const (
 func segName(id int) string { return fmt.Sprintf("kv.seg-%d", id) }
 
 // Open creates the store's files on the stack and starts the group-commit
-// leader, flusher and compactor daemons.
+// leader, flusher and compactor daemons. The engine choice (fdatabarrier vs
+// fdatasync group commit) follows the stack's journaling mode.
 func Open(p *sim.Proc, s *core.Stack, cfg Config) (*Store, error) {
+	return OpenFS(p, s.FS, s.Profile.FS.Journal.Mode == jbd.ModeDual, cfg)
+}
+
+// OpenFS opens a store directly on a mounted filesystem. barrier selects
+// fdatabarrier group commit (Dual-engine mounts); flush engines pass false.
+// Multi-tenant stacks (internal/kvcluster's MQ-streams mode) mount several
+// filesystems on one device and open one store per mount.
+func OpenFS(p *sim.Proc, fsys *fs.FS, barrier bool, cfg Config) (*Store, error) {
 	if cfg.WALPages <= 0 || cfg.MemtableCap <= 0 || cfg.CompactFanIn <= 0 {
 		return nil, fmt.Errorf("kvwal: non-positive config %+v", cfg)
 	}
@@ -226,7 +235,7 @@ func Open(p *sim.Proc, s *core.Stack, cfg Config) (*Store, error) {
 		cfg.CheckpointEvery = 32
 	}
 	st := &Store{
-		s: s, k: p.Kernel(), cfg: cfg,
+		fs: fsys, k: p.Kernel(), cfg: cfg,
 		q:             sim.NewQueue[*batch](p.Kernel()),
 		spaceCond:     sim.NewCond(p.Kernel()),
 		flushCond:     sim.NewCond(p.Kernel()),
@@ -236,7 +245,7 @@ func Open(p *sim.Proc, s *core.Stack, cfg Config) (*Store, error) {
 		segByID:       make(map[int]*segment),
 		manifestHist:  make(map[int64]manifestState),
 		nextSeq:       1,
-		barrierCommit: s.Profile.FS.Journal.Mode == jbd.ModeDual,
+		barrierCommit: barrier,
 	}
 	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
 		st.obs = kvObs{
@@ -247,20 +256,20 @@ func Open(p *sim.Proc, s *core.Stack, cfg Config) (*Store, error) {
 		}
 	}
 	var err error
-	if st.wal, err = s.FS.Create(p, s.FS.Root(), walName); err != nil {
+	if st.wal, err = fsys.Create(p, fsys.Root(), walName); err != nil {
 		return nil, err
 	}
-	if st.manifest, err = s.FS.Create(p, s.FS.Root(), manifestName); err != nil {
+	if st.manifest, err = fsys.Create(p, fsys.Root(), manifestName); err != nil {
 		return nil, err
 	}
 	// Preallocate the WAL ring and the manifest page so steady-state commits
 	// are pure overwrites: no allocating metadata, which is what lets the
 	// Dual engine service them on the cheap fdatabarrier path.
 	for i := 0; i < cfg.WALPages; i++ {
-		s.FS.Write(p, st.wal, int64(i))
+		fsys.Write(p, st.wal, int64(i))
 	}
-	s.FS.Write(p, st.manifest, 0)
-	s.FS.SyncFS(p)
+	fsys.Write(p, st.manifest, 0)
+	fsys.SyncFS(p)
 	st.k.Spawn("kv/commit", st.committer)
 	st.k.Spawn("kv/flush", st.flusher)
 	st.k.Spawn("kv/compact", st.compactor)
@@ -334,7 +343,7 @@ func (st *Store) Get(p *sim.Proc, key string) (uint64, bool) {
 		seg := st.segs[i]
 		if n, ok := seg.byKey[key]; ok {
 			e := seg.entries[n]
-			st.s.FS.Read(p, st.fileOf(seg), e.page)
+			st.fs.Read(p, st.fileOf(seg), e.page)
 			return e.seq, !e.del
 		}
 	}
@@ -344,7 +353,7 @@ func (st *Store) Get(p *sim.Proc, key string) (uint64, bool) {
 // fileOf resolves a segment's inode by name (segments can be recreated by
 // lookup because unlinked ones are never read again).
 func (st *Store) fileOf(seg *segment) *fs.Inode {
-	f, ok := st.s.FS.Lookup(st.s.FS.Root(), seg.name)
+	f, ok := st.fs.Lookup(st.fs.Root(), seg.name)
 	if !ok {
 		panic("kvwal: live segment file missing: " + seg.name)
 	}
@@ -357,7 +366,7 @@ func (st *Store) fileOf(seg *segment) *fs.Inode {
 // extra sync.
 func (st *Store) ForceCheckpoint(p *sim.Proc) {
 	target := st.committedSeq
-	st.s.FS.Fdatasync(p, st.wal)
+	st.fs.Fdatasync(p, st.wal)
 	st.stats.CheckpointSyncs++
 	if target > st.durableSeq {
 		st.durableSeq = target
@@ -405,10 +414,10 @@ func (st *Store) committer(p *sim.Proc) {
 		// One sync for the whole group: the amortization that makes group
 		// commit worth it.
 		if st.barrierCommit {
-			st.s.FS.Fdatabarrier(p, st.wal)
+			st.fs.Fdatabarrier(p, st.wal)
 			st.groupsSince++
 		} else {
-			st.s.FS.Fdatasync(p, st.wal)
+			st.fs.Fdatasync(p, st.wal)
 		}
 		st.stats.GroupCommits++
 		st.obs.groupCommits.Inc()
@@ -460,8 +469,8 @@ func (st *Store) appendWAL(p *sim.Proc, op Op) {
 	}
 	st.nextSeq++
 	slot := int64((seq - 1) % uint64(st.cfg.WALPages))
-	st.s.FS.Write(p, st.wal, slot)
-	ver, _ := st.s.FS.PageVer(st.wal, slot)
+	st.fs.Write(p, st.wal, slot)
+	ver, _ := st.fs.PageVer(st.wal, slot)
 	st.walHist = append(st.walHist, walRec{
 		seq: seq, group: st.groupID, kind: op.Kind, key: op.Key, slot: slot, ver: ver,
 	})

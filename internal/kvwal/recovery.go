@@ -49,7 +49,7 @@ type Recovered struct {
 // (s.RecoverView after a crash).
 func (st *Store) Recover(view *fs.View) Recovered {
 	rec := Recovered{Keys: make(map[string]RecEnt)}
-	root, ok := view.Root(st.s.FS)
+	root, ok := view.Root(st.fs)
 	if !ok {
 		return rec
 	}
