@@ -42,6 +42,7 @@ type dbRun struct {
 var keyFieldInts = map[string]bool{
 	"clients": true, "streams": true, "hw_queues": true, "threads": true,
 	"channels": true, "crash_at_us": true, "shards": true, "offered_kops": true,
+	"replicas": true,
 }
 
 // cellKey renders one row's identity: sorted key=value pairs.

@@ -171,6 +171,21 @@ func kvclusterJSON(r experiments.KVClusterResult) []map[string]any {
 	return rows
 }
 
+func faultsJSON(r experiments.FaultsResult) []map[string]any {
+	rows := make([]map[string]any, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, map[string]any{
+			"config": row.Config, "mix": row.Mix,
+			"shards": row.Shards, "replicas": row.Replicas,
+			"offered_per_s": row.OfferedPerS, "goodput_per_s": row.GoodputPerS,
+			"slo_pct": row.SLOPct, "shed_pct": row.ShedPct, "p99_ms": row.P99,
+			"retries": row.Retries, "io_errors": row.IOErrors,
+			"failovers": row.Failovers, "read_repairs": row.ReadRepairs,
+		})
+	}
+	return rows
+}
+
 func crashmcJSON(r experiments.CrashMCResult) []map[string]any {
 	rows := make([]map[string]any, 0, len(r.Rows))
 	for _, row := range r.Rows {

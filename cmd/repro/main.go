@@ -10,14 +10,17 @@
 //	repro trend  [-db bench.db] [-cell GLOB] [-last N] [-band]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mq kv kvcluster crash crashmc all. With no arguments, runs `all`. The
+// mq kv kvcluster faults crash crashmc all. With no arguments, runs `all`. The
 // `mq` experiment is the multi-queue scaling table (per-stream epochs vs
 // the global total order) added on top of the paper's evaluation; `kv` is
 // the barrier-enabled key-value store (internal/kvwal): group-commit
 // throughput and latency across stacks plus its crash-consistency sweep;
 // `kvcluster` is the sharded KV service (internal/kvcluster) under
 // open-loop Zipfian traffic: goodput and latency tail per (engine,
-// offered-load) cell at a fixed p99 SLO; `crashmc` is the crash-state
+// offered-load) cell at a fixed p99 SLO; `faults` drives the replicated
+// cluster through seeded device fault personalities (media errors, GC
+// interference) and reports goodput with retry/failover counters;
+// `crashmc` is the crash-state
 // model checker (internal/crashmc): states-explored and violation counts
 // per stack configuration, with EXT4-nobarrier's reachable ordering
 // violations as the positive control.
@@ -112,6 +115,10 @@ var runners = []runner{
 	{"kvcluster", func(s experiments.Scale) (string, []map[string]any) {
 		r := experiments.KVCluster(s)
 		return r.String(), kvclusterJSON(r)
+	}},
+	{"faults", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Faults(s)
+		return r.String(), faultsJSON(r)
 	}},
 	{"crash", func(s experiments.Scale) (string, []map[string]any) {
 		return crashReport(s)

@@ -66,6 +66,10 @@ type Config struct {
 	// process-wide live registry, and a nil resolution disables the layer's
 	// instruments.
 	Metrics *metrics.Registry
+	// Retry, when non-nil, arms bounded per-class command retry with
+	// backoff (see block.RetryPolicy). Nil — the default — propagates
+	// device errors to Request.Err on first completion.
+	Retry *block.RetryPolicy
 }
 
 // Stats are cumulative layer statistics.
@@ -148,6 +152,9 @@ func New(k *sim.Kernel, dev *device.Device, cfg Config) *MQ {
 	}
 	m := &MQ{k: k, dev: dev, cfg: cfg, streams: make(map[uint64]*stream)}
 	m.cmds = block.NewCmdPool(func(sim.Time, *block.Request) { m.stats.Completed++ })
+	if cfg.Retry != nil {
+		m.cmds.EnableRetry(k, dev, *cfg.Retry, metrics.Resolve(cfg.Metrics))
+	}
 	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
 		m.obs.submitted = reg.Counter("blkmq/submitted")
 		m.obs.dispatched = reg.Counter("blkmq/dispatched")

@@ -2,6 +2,7 @@ package block
 
 import (
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -20,6 +21,13 @@ type LayerConfig struct {
 	BarrierAsCommand bool
 	// Trace records the dispatch order for verification.
 	Trace bool
+	// Retry, when non-nil, arms bounded per-class command retry with
+	// backoff (see RetryPolicy). Nil — the default — propagates device
+	// errors to Request.Err on first completion.
+	Retry *RetryPolicy
+	// Metrics resolves the registry for the retry counters; nil falls back
+	// to the process-wide live registry.
+	Metrics *metrics.Registry
 }
 
 // DispatchRecord is one entry of the dispatch trace.
@@ -92,6 +100,9 @@ func NewLayer(k *sim.Kernel, dev *device.Device, sched Scheduler, cfg LayerConfi
 	l := &Layer{k: k, dev: dev, sched: sched, cfg: cfg,
 		kick: sim.NewCond(k), congest: sim.NewCond(k)}
 	l.cmds = NewCmdPool(func(sim.Time, *Request) { l.stats.Completed++ })
+	if cfg.Retry != nil {
+		l.cmds.EnableRetry(k, dev, *cfg.Retry, metrics.Resolve(cfg.Metrics))
+	}
 	k.Spawn("block/dispatch", l.dispatcher)
 	return l
 }
@@ -232,7 +243,8 @@ func (r *Request) ToCommand(done func(at sim.Time, r *Request)) *device.Command 
 		LPA:    r.LPA,
 		Data:   r.Data,
 		Stream: r.Stream,
-		Done: func(at sim.Time, _ *device.Command) {
+		Done: func(at sim.Time, cc *device.Command) {
+			r.Err = cc.Err // one-shot path: no retry, straight propagation
 			r.complete(at)
 			if done != nil {
 				done(at, r)

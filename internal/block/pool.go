@@ -16,6 +16,7 @@ import (
 type CmdPool struct {
 	free   []*cmdCtx
 	onDone func(at sim.Time, r *Request)
+	retry  *retrier // nil unless EnableRetry armed bounded retry
 }
 
 type cmdCtx struct {
@@ -71,16 +72,33 @@ func (pl *CmdPool) Get(r *Request) *device.Command {
 
 func (c *cmdCtx) done(at sim.Time, cc *device.Command) {
 	r := c.r
-	if r.Op == OpRead {
-		r.Data = cc.Data
-	}
-	r.complete(at)
-	if c.pool.onDone != nil {
-		c.pool.onDone(at, r)
-	}
+	pl := c.pool
+	data := cc.Data
 	c.r = nil
 	c.cmd.Data = nil
-	c.pool.free = append(c.pool.free, c)
+	pl.free = append(pl.free, c)
+	if cc.Err != nil {
+		if rt := pl.retry; rt != nil && r.attempts < rt.pol.budget(r.Op) {
+			// Within budget: re-drive the command after backoff instead of
+			// completing the request. The ctx is already recycled; the
+			// retry daemon builds a fresh command at submission time.
+			r.attempts++
+			rt.enqueue(r)
+			return
+		}
+		// No retry configured or budget exhausted: a hard failure.
+		r.Err = cc.Err
+		if rt := pl.retry; rt != nil {
+			rt.errors.Inc()
+		}
+	}
+	if r.Op == OpRead {
+		r.Data = data
+	}
+	r.complete(at)
+	if pl.onDone != nil {
+		pl.onDone(at, r)
+	}
 }
 
 // ReqPool recycles block requests whose ownership is unambiguous: journal

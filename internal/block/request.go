@@ -81,8 +81,15 @@ type Request struct {
 	// not block; use it to Resume waiting processes or tally counters).
 	OnComplete func(at sim.Time, r *Request)
 
+	// Err reports a hard IO failure, valid once the request completed: the
+	// device returned an error (fault.ErrUNC on an uncorrectable sector)
+	// and the layer's retry budget — if any — is exhausted. Callers that
+	// wait on requests must check it before trusting Data.
+	Err error
+
 	issued    sim.Time
 	completed bool
+	attempts  int    // re-submissions consumed (bounded by RetryPolicy)
 	epoch     uint64 // set by the epoch scheduler
 	waiters   []*sim.Proc
 	k         *sim.Kernel
@@ -131,6 +138,8 @@ func (r *Request) IssuedAt() sim.Time { return r.issued }
 func (r *Request) Bind(k *sim.Kernel, at sim.Time) {
 	r.k = k
 	r.issued = at
+	r.Err = nil
+	r.attempts = 0
 }
 
 // Wait blocks the calling process until the request completes. This is the

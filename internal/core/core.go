@@ -56,6 +56,10 @@ type Profile struct {
 	// NewStack forwards the resolved registry to every layer and attaches
 	// the kernel's dispatch stats to it.
 	Metrics *metrics.Registry
+	// Retry arms the block layer's bounded command retry (media-fault
+	// tolerance); nil — the default — propagates device errors to the
+	// filesystem on first completion.
+	Retry *block.RetryPolicy
 }
 
 // EXT4DR is plain EXT4 with full durability (transfer-and-flush).
@@ -185,12 +189,15 @@ func NewStack(k *sim.Kernel, prof Profile) *Stack {
 			SpreadOrderless:  true,
 			BarrierAsCommand: prof.BarrierAsCommand,
 			Metrics:          reg,
+			Retry:            prof.Retry,
 		})
 		s.Front = s.MQ
 	} else {
 		s.Layer = block.NewLayer(k, dev, block.NewEpochScheduler(mkSched()), block.LayerConfig{
 			DispatchOverhead: prof.DispatchOverhead,
 			BarrierAsCommand: prof.BarrierAsCommand,
+			Metrics:          reg,
+			Retry:            prof.Retry,
 		})
 		s.Front = s.Layer
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/jbd"
 	"repro/internal/kvwal"
 	"repro/internal/sim"
@@ -117,6 +118,18 @@ func OrderingScenario(prof core.Profile, cfg Config) Result {
 	res.Profile = prof.Name
 	res.CrashAt = cfg.CrashAt
 	return res
+}
+
+// PLPFailureDevice installs the PLP-failure fault plan on a supercap
+// device: at power loss the cache drains only a transfer-order prefix, so
+// CaptureConstraints hands the model checker a partial-drain chain (every
+// prefix admissible) instead of PLP's single fully-drained state. The
+// concrete drain fraction is left at zero on purpose — a nonzero drain
+// would fold one arbitrary prefix into the recovered base and silently
+// shrink the state space the checker audits.
+func PLPFailureDevice(dev device.Config, seed uint64) device.Config {
+	dev.Fault = &fault.Plan{Seed: seed, PLPFailure: true}
+	return dev
 }
 
 // KVWorkload is a handle on the canonical kvwal crash workload. The same

@@ -82,6 +82,12 @@ type Command struct {
 	// command must persist after the pages transferred before it.
 	Barrier bool
 
+	// Err reports a command-level failure at completion time: an
+	// uncorrectable media error on a read (fault.ErrUNC). Writes never set
+	// it — transient program failures are retried inside the chip. Submit
+	// resets it, so pooled commands can be reused without clearing.
+	Err error
+
 	// Done fires at host interrupt time when the command completes. For
 	// reads, Data carries the result.
 	Done func(at sim.Time, c *Command)

@@ -9,6 +9,7 @@ package device
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/nand"
@@ -81,6 +82,13 @@ type Config struct {
 	// Seed drives the deterministic pseudo-random writeback scrambling of
 	// non-barrier devices.
 	Seed int64
+
+	// Fault, when non-nil, gives the device a failure personality: media
+	// read errors with a read-retry latency ladder, transient program
+	// retries, GC-interference latency windows, and the PLP-failure model
+	// (supercap dies mid-drain). Nil — the default everywhere — injects
+	// nothing and leaves every dispatch trace bit-identical.
+	Fault *fault.Plan
 
 	// Metrics is an explicit observability registry for this device; nil
 	// falls back to the process-wide live registry (metrics.SetLive), and

@@ -52,6 +52,12 @@ type Constraint struct {
 	// only admissible crash state is "everything persisted" — which device
 	// recovery already folds into the durable base. Writes is empty.
 	PLP bool
+	// PLPPartial marks a PLP device whose fault plan models the supercap
+	// dying mid-drain: the cache persists only a transfer-order prefix, so
+	// Preds form a single chain over all streams (every prefix of the
+	// drain order is admissible, nothing else), instead of PLP's single
+	// full state or the barrier contract's per-stream epoch DAG.
+	PLPPartial bool
 }
 
 // CaptureConstraints snapshots the device's volatile writeback-cache
@@ -60,9 +66,33 @@ type Constraint struct {
 // The returned constraint is independent of the device's later life.
 func (d *Device) CaptureConstraints() Constraint {
 	c := Constraint{Ordered: d.cfg.BarrierSupport, PLP: d.cfg.PLP}
-	if d.cfg.PLP {
+	if d.cfg.PLP && !d.inj.PLPFailure() {
 		// The supercap drains the cache on power failure; Recover replays
 		// it into the durable base, so no write is at risk.
+		return c
+	}
+	if d.cfg.PLP {
+		// PLP-failure model: the supercap drains the cache in transfer
+		// order and may die after any number of entries. The admissible
+		// crash states are exactly the transfer-order prefixes, expressed
+		// as a single chain over all streams.
+		c.PLP, c.PLPPartial, c.Ordered = false, true, true
+		for _, e := range d.entries {
+			if e.durable {
+				continue
+			}
+			if e.started && e.idx < d.f.DurableIdx() {
+				continue // already survives the recovery scan (see below)
+			}
+			c.Writes = append(c.Writes, VolatileWrite{
+				Seq: e.seq, LPA: e.lpa, Data: e.data,
+				Stream: e.stream, Epoch: e.epoch,
+			})
+		}
+		c.Preds = make([][]int, len(c.Writes))
+		for i := 1; i < len(c.Writes); i++ {
+			c.Preds[i] = []int{i - 1}
+		}
 		return c
 	}
 	for _, e := range d.entries {

@@ -3,6 +3,7 @@ package device
 import (
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/nand"
@@ -19,6 +20,7 @@ type Stats struct {
 	BusyRejects  int64 // submissions rejected with a full queue
 	CacheHits    int64
 	EpochCrosses int64 // writeback order checks (barrier devices)
+	ReadErrors   int64 // reads completed with an uncorrectable media error
 }
 
 // cacheEntry is one page in the writeback cache. Entries live from DMA
@@ -43,6 +45,7 @@ type Device struct {
 	arr *nand.Array
 	f   *ftl.FTL
 	rng *rand.Rand
+	inj *fault.Injector // nil unless cfg.Fault is set
 
 	// Command queue.
 	queued   []*Command
@@ -90,6 +93,7 @@ type Device struct {
 type devObs struct {
 	writes, reads, flushes *metrics.Counter
 	barriers, fua          *metrics.Counter
+	readErrs               *metrics.Counter
 	qdepth, cache          *metrics.Gauge
 	epochMax, epochStreams *metrics.Gauge
 	maxEpoch               uint64 // deepest per-stream epoch seen
@@ -143,6 +147,8 @@ func newDevice(k *sim.Kernel, cfg Config, arr *nand.Array) *Device {
 		doneCond:  sim.NewCond(k),
 		qdSeries:  metrics.NewSeries(cfg.Name + "/qd"),
 	}
+	d.inj = fault.New(cfg.Fault)
+	arr.SetFault(d.inj)
 	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
 		d.obs = devObs{
 			writes:       reg.Counter("device/writes"),
@@ -150,6 +156,7 @@ func newDevice(k *sim.Kernel, cfg Config, arr *nand.Array) *Device {
 			flushes:      reg.Counter("device/flushes"),
 			barriers:     reg.Counter("device/barriers"),
 			fua:          reg.Counter("device/fua"),
+			readErrs:     reg.Counter("device/read.errors"),
 			qdepth:       reg.Gauge("device/queue.depth"),
 			cache:        reg.Gauge("device/cache.pages"),
 			epochMax:     reg.Gauge("device/epoch.max"),
@@ -189,6 +196,10 @@ func (d *Device) Array() *nand.Array { return d.arr }
 // FTL exposes the translation layer (verification hooks).
 func (d *Device) FTL() *ftl.FTL { return d.f }
 
+// FaultInjector exposes the device's fault injector (nil when the config
+// has no fault plan), for fault-delivery counters in tests and experiments.
+func (d *Device) FaultInjector() *fault.Injector { return d.inj }
+
 // Stats returns cumulative statistics.
 func (d *Device) Stats() Stats { return d.stats }
 
@@ -224,6 +235,7 @@ func (d *Device) Submit(c *Command) bool {
 	c.seq = d.cmdSeq
 	c.arrived = d.k.Now()
 	c.complete = false // commands are pooled; reset per admission
+	c.Err = nil
 	so := d.streamOrderFor(c.Stream)
 	so.all = append(so.all, c.seq) // cmdSeq is increasing: append keeps order
 	if c.Prio != PrioSimple {
@@ -457,13 +469,43 @@ func (d *Device) doWrite(p *sim.Proc, c *Command) {
 	}
 }
 
+// cacheLive reports whether lpa still has a not-yet-durable entry in the
+// writeback cache. Only those reads are legitimately served from device
+// DRAM; once the page is programmed and retired, a read touches the medium.
+// The distinction is moot without fault injection (readMap doubles as the
+// flash content shadow), so only the fault-armed read path consults it.
+func (d *Device) cacheLive(lpa uint64) bool {
+	for _, e := range d.entries {
+		if e.lpa == lpa && !e.durable {
+			return true
+		}
+	}
+	return false
+}
+
 func (d *Device) doRead(p *sim.Proc, c *Command) {
 	data, hit := d.readMap[c.LPA]
+	if hit && d.cfg.Fault != nil && !d.cacheLive(c.LPA) {
+		// Fault campaign: the page left the cache, so the read must face
+		// the medium (and its injected errors), not the DRAM shadow.
+		hit = false
+	}
 	if hit {
 		d.stats.CacheHits++
 	} else {
-		data, _ = d.f.Read(p, c.LPA)
+		var err error
+		data, _, err = d.f.ReadE(p, c.LPA)
 		if d.dead {
+			return
+		}
+		if err != nil {
+			// Uncorrectable media error: the command completes with the
+			// error and transfers nothing. The host may retry — a later
+			// attempt re-enters the device's read-retry ladder.
+			c.Err = err
+			d.stats.Reads++
+			d.stats.ReadErrors++
+			d.obs.readErrs.Inc()
 			return
 		}
 	}
@@ -673,6 +715,13 @@ func (d *Device) Crash() {
 			if !e.durable {
 				d.plpSnapshot = append(d.plpSnapshot, e)
 			}
+		}
+		if d.inj.PLPFailure() {
+			// PLP-failure model: the supercap dies mid-drain, persisting
+			// only a seeded prefix of the pending entries in transfer
+			// order. Everything beyond the prefix is lost exactly as on an
+			// unprotected device.
+			d.plpSnapshot = d.plpSnapshot[:d.inj.PLPDrain(len(d.plpSnapshot))]
 		}
 	}
 	d.queued = nil

@@ -38,6 +38,7 @@ type workerSM struct {
 	c           *Command
 	e           *cacheEntry // FUA wait target
 	rdata       any         // read result
+	rerr        error       // read media error
 	flushTarget uint64
 	preflush    bool // current flush is a write's PreFlush half
 }
@@ -49,6 +50,7 @@ func (w *workerSM) abort() {
 	w.c = nil
 	w.e = nil
 	w.rdata = nil
+	w.rerr = nil
 	w.phase = wPick
 }
 
@@ -221,13 +223,14 @@ func (d *Device) workerStep(h *sim.Proc, w *workerSM) {
 
 		case wRead:
 			c := w.c
-			if data, hit := d.readMap[c.LPA]; hit {
+			if data, hit := d.readMap[c.LPA]; hit &&
+				(d.cfg.Fault == nil || d.cacheLive(c.LPA)) {
 				d.stats.CacheHits++
 				w.rdata = data
 				w.phase = wReadDMA
 				continue
 			}
-			if d.f.ReadStart(h, c.LPA, &w.rdata) {
+			if d.f.ReadStart(h, c.LPA, &w.rdata, &w.rerr) {
 				w.phase = wReadWait
 				h.Park()
 				return
@@ -237,6 +240,18 @@ func (d *Device) workerStep(h *sim.Proc, w *workerSM) {
 		case wReadWait:
 			if d.dead {
 				w.abort()
+				continue
+			}
+			if w.rerr != nil {
+				// Uncorrectable media error: complete with the error and
+				// skip the read-out DMA, mirroring the blocking doRead.
+				w.c.Err = w.rerr
+				w.rerr = nil
+				w.rdata = nil
+				d.stats.Reads++
+				d.stats.ReadErrors++
+				d.obs.readErrs.Inc()
+				w.phase = wTail
 				continue
 			}
 			w.phase = wReadDMA

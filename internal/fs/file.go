@@ -76,25 +76,61 @@ func (f *FS) PageVer(i *Inode, idx int64) (int64, bool) {
 }
 
 // Read returns the version of a page, fetching it from the device on a
-// cache miss.
+// cache miss. A hard media failure reads as an absent page; callers that
+// must distinguish the two use ReadE.
 func (f *FS) Read(p *sim.Proc, i *Inode, idx int64) (int64, bool) {
+	ver, ok, _ := f.ReadE(p, i, idx)
+	return ver, ok
+}
+
+// ReadE is Read with the IO error surfaced: when the device fails the page
+// read hard (uncorrectable sector with the block layer's retry budget
+// exhausted, block.Request.Err), ReadE caches nothing and returns the
+// error so the application can fail over to a replica.
+func (f *FS) ReadE(p *sim.Proc, i *Inode, idx int64) (int64, bool, error) {
 	f.cpu(p)
 	f.stats.Reads++
 	if pg, ok := i.pages[idx]; ok {
-		return pg.ver, true
+		return pg.ver, true, nil
 	}
 	if idx >= int64(len(i.blocks)) || i.blocks[idx] == 0 {
-		return 0, false
+		return 0, false, nil
 	}
 	r := &block.Request{Op: block.OpRead, LPA: i.blocks[idx], PID: p.ID(), Stream: f.stream}
 	f.layer.SubmitAndWait(p, r)
 	f.wake(p)
+	if r.Err != nil {
+		f.stats.ReadErrors++
+		return 0, false, r.Err
+	}
 	ver := int64(0)
 	if pd, ok := r.Data.(PageData); ok {
 		ver = pd.Ver
 	}
 	i.pages[idx] = &page{idx: idx, ver: ver, everSynced: true}
-	return ver, true
+	return ver, true, nil
+}
+
+// EvictClean drops the inode's clean pages from the page cache, so later
+// reads fetch them from the device again — fadvise(DONTNEED) for files the
+// application streams once (e.g. kvwal segments, which are immutable after
+// their closing fdatasync). Dirty pages, journal-pinned pages, and inodes
+// with writeback still in flight are left alone: eviction is only legal
+// once the device provably holds the page. Returns the number of pages
+// evicted.
+func (f *FS) EvictClean(i *Inode) int {
+	if len(i.inflight) > 0 {
+		return 0
+	}
+	n := 0
+	for idx, pg := range i.pages {
+		if pg.dirty || (pg.buf != nil && pg.buf.Pending()) {
+			continue
+		}
+		delete(i.pages, idx)
+		n++
+	}
+	return n
 }
 
 // writebackPlan is the set of in-place data writes produced by writeback.

@@ -200,6 +200,7 @@ type Stats struct {
 	PagesWritten  int64
 	DataJournaled int64 // pages routed through the journal (data/selective)
 	PdflushRuns   int64
+	ReadErrors    int64 // page reads failed hard (retry budget exhausted)
 }
 
 // FS is a mounted filesystem.

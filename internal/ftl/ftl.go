@@ -312,24 +312,43 @@ func (f *FTL) WaitDurable(p *sim.Proc, idx uint64) {
 func (f *FTL) Sync(p *sim.Proc) { f.WaitDurable(p, f.appendIdx) }
 
 // Read returns the data most recently appended for lpa, issuing a NAND read
-// and blocking for its latency. ok is false for unmapped pages.
+// and blocking for its latency. ok is false for unmapped pages. This is the
+// device-internal variant (GC relocation): it is exempt from media-error
+// injection, like reads protected by on-die parity. Host reads that must
+// observe injected media errors use ReadE.
 func (f *FTL) Read(p *sim.Proc, lpa uint64) (data any, ok bool) {
+	data, ok, _ = f.read(p, lpa, true)
+	return data, ok
+}
+
+// ReadE is the host read: identical to Read, but the request participates
+// in media-error injection, so err carries fault.ErrUNC when the device's
+// internal read-retry ladder could not correct the page. ok is still true
+// for mapped pages that erred — the data simply could not be returned on
+// this attempt.
+func (f *FTL) ReadE(p *sim.Proc, lpa uint64) (data any, ok bool, err error) {
+	return f.read(p, lpa, false)
+}
+
+func (f *FTL) read(p *sim.Proc, lpa uint64, internal bool) (data any, ok bool, err error) {
 	ref, mapped := f.mapping[lpa]
 	if !mapped {
-		return nil, false
+		return nil, false, nil
 	}
 	var out any
+	var rerr error
 	done := sim.NewCond(f.k)
 	f.arr.Submit(&nand.Request{
 		Kind: nand.OpRead,
 		Chip: f.chipOf(ref.slot), Block: ref.seg, Page: f.pageOf(ref.slot),
+		NoFault: internal,
 		Done: func(at sim.Time, r *nand.Request) {
-			out = r.Data
+			out, rerr = r.Data, r.Err
 			done.Signal()
 		},
 	})
 	done.Wait(p)
-	return out, true
+	return out, true, rerr
 }
 
 // --- garbage collection ---

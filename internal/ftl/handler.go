@@ -106,17 +106,21 @@ func (f *FTL) DurableOrPark(h *sim.Proc, idx uint64) bool {
 // readCtx is a pooled handler read: the NAND request plus completion
 // plumbing, Done bound once at allocation.
 type readCtx struct {
-	f   *FTL
-	h   *sim.Proc
-	out *any
-	req nand.Request
+	f      *FTL
+	h      *sim.Proc
+	out    *any
+	errOut *error
+	req    nand.Request
 }
 
 func (c *readCtx) done(at sim.Time, r *nand.Request) {
 	*c.out = r.Data
+	if c.errOut != nil {
+		*c.errOut = r.Err
+	}
 	h := c.h
 	f := c.f
-	c.h, c.out = nil, nil
+	c.h, c.out, c.errOut = nil, nil, nil
 	c.req.Data = nil
 	c.req.Meta = nand.PageMeta{}
 	f.readFree = append(f.readFree, c)
@@ -124,21 +128,22 @@ func (c *readCtx) done(at sim.Time, r *nand.Request) {
 	f.k.Resume(h)
 }
 
-// ReadStart is the handler analogue of Read: it reports false for an
+// ReadStart is the handler analogue of ReadE: it reports false for an
 // unmapped page (no IO, no wait), or issues the NAND read and arranges for
-// h to be resumed with the result stored in *out. The caller parks after a
-// true return. Reads lost to a power failure never resume the handler,
-// matching the blocking Read's lost wake-up.
-func (f *FTL) ReadStart(h *sim.Proc, lpa uint64, out *any) bool {
+// h to be resumed with the result stored in *out and the attempt's media
+// error (if any) in *errOut. The caller parks after a true return. Reads
+// lost to a power failure never resume the handler, matching the blocking
+// Read's lost wake-up.
+func (f *FTL) ReadStart(h *sim.Proc, lpa uint64, out *any, errOut *error) bool {
 	ref, mapped := f.mapping[lpa]
 	if !mapped {
 		return false
 	}
-	f.readTo(h, ref, out)
+	f.readTo(h, ref, out, errOut, false)
 	return true
 }
 
-func (f *FTL) readTo(h *sim.Proc, ref slotRef, out *any) {
+func (f *FTL) readTo(h *sim.Proc, ref slotRef, out *any, errOut *error, internal bool) {
 	var c *readCtx
 	if n := len(f.readFree); n > 0 {
 		c = f.readFree[n-1]
@@ -147,10 +152,11 @@ func (f *FTL) readTo(h *sim.Proc, ref slotRef, out *any) {
 		c = &readCtx{f: f}
 		c.req.Done = c.done
 	}
-	c.h, c.out = h, out
+	c.h, c.out, c.errOut = h, out, errOut
 	c.req.Kind = nand.OpRead
 	c.req.Chip, c.req.Block, c.req.Page = f.chipOf(ref.slot), ref.seg, f.pageOf(ref.slot)
 	c.req.Err = nil
+	c.req.NoFault = internal
 	f.arr.Submit(&c.req)
 }
 
@@ -210,7 +216,9 @@ func (f *FTL) gcStep(h *sim.Proc) {
 					continue
 				}
 				// Read the page, then re-append (gcRead on completion).
-				f.readTo(h, ref, &g.data)
+				// GC relocation reads are device-internal: exempt from
+				// media-error injection (see FTL.Read).
+				f.readTo(h, ref, &g.data, nil, true)
 				g.phase = gcRead
 				h.Park()
 				return

@@ -47,11 +47,17 @@ const (
 	// MQStreams mounts every shard as a filesystem on one shared
 	// multi-queue device, each on its own order stream.
 	MQStreams
+	// Replicated runs every shard as a full stack in one kernel with R-way
+	// successor-list replication (see ReplicaConfig / RunReplicated).
+	Replicated
 )
 
 func (m Mode) String() string {
-	if m == MQStreams {
+	switch m {
+	case MQStreams:
 		return "mq-streams"
+	case Replicated:
+		return "replicated"
 	}
 	return "sharded"
 }

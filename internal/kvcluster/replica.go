@@ -1,0 +1,384 @@
+package kvcluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kvwal"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// R-way replicated deployment. Every shard is a full barrier-enabled IO
+// stack (its own device, block layer, filesystem, kvwal store), all living
+// in ONE kernel so a client can drive several replicas in lockstep:
+//
+//   - writes go to every replica of the key (write-both): one ApplyAsync
+//     per replica, then one wait for all the group commits — the replicas
+//     commit in parallel, each with its own shard-local group commit;
+//   - reads try the primary and fail over down the replica list on a hard
+//     media error (fault.ErrUNC past the block layer's retry budget) or a
+//     killed shard, with read-repair re-priming the failed replica and
+//     optional hedged reads cutting the tail under latency faults.
+//
+// Placement is the ring's successor list (Ring.ShardsFor): deterministic
+// per key, stable under shard death — marking a shard down only promotes
+// the next distinct owner for the keys it served.
+
+// ErrUnavailable reports that no live replica could serve the operation.
+var ErrUnavailable = errors.New("kvcluster: no live replica")
+
+// ReplicaConfig parameterizes a replicated cluster.
+type ReplicaConfig struct {
+	// Shards is the shard count (default 3).
+	Shards int
+	// Replicas is the replication factor R: each key lives on R distinct
+	// shards, primary first (default 2, clamped to Shards).
+	Replicas int
+	// Profile builds the per-shard stack profile (default core.BFSDR).
+	Profile func(device.Config) core.Profile
+	// Device builds shard i's device config (default device.NVMeSSD for
+	// every shard). Per-shard, so fault personalities can differ — e.g.
+	// media errors on the primary only.
+	Device func(i int) device.Config
+	// Store is the per-shard kvwal configuration.
+	Store kvwal.Config
+	// VNodes is the consistent-hash virtual node count (default 64).
+	VNodes int
+	// Retry is the block-layer retry policy armed on every shard stack
+	// (nil: errors propagate on first completion).
+	Retry *block.RetryPolicy
+	// HedgeAfter fires a hedged read on the next replica when the primary
+	// read has not completed after this long; 0 disables hedging.
+	HedgeAfter sim.Duration
+	// TenantFailovers is the per-tenant failover budget: after this many
+	// read failovers a tenant's failing reads are shed immediately instead
+	// of retried on replicas — graceful degradation under a sick shard
+	// instead of retry storms. 0 means unlimited.
+	TenantFailovers int64
+	// Metrics is an explicit observability registry; nil falls back to the
+	// process-wide live registry.
+	Metrics *metrics.Registry
+}
+
+func (c ReplicaConfig) withDefaults() ReplicaConfig {
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > c.Shards {
+		c.Replicas = c.Shards
+	}
+	if c.Profile == nil {
+		c.Profile = core.BFSDR
+	}
+	if c.Device == nil {
+		c.Device = func(int) device.Config { return device.NVMeSSD() }
+	}
+	if c.Store.WALPages == 0 {
+		c.Store = kvwal.DefaultConfig()
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	return c
+}
+
+// ClusterStats are cumulative replicated-cluster statistics.
+type ClusterStats struct {
+	Writes        int64 // acknowledged write operations
+	ReplicaWrites int64 // per-replica commits those writes fanned into
+	Reads         int64
+	Failovers     int64 // reads redirected past a dead/erroring replica
+	ReadRepairs   int64 // async re-puts priming a replica that failed a read
+	HedgedReads   int64 // secondary reads fired by the hedge timer
+	DegradedSheds int64 // reads shed by an exhausted tenant failover budget
+	Unavailable   int64 // operations with no live replica
+}
+
+type clusterObs struct {
+	failovers, repairs, hedged, shed, repWrites *metrics.Counter
+}
+
+// node is one shard: a full stack plus its store and liveness mark.
+type node struct {
+	stack *core.Stack
+	store *kvwal.Store
+	down  bool
+}
+
+// Cluster is a live replicated deployment: Shards full stacks in one
+// kernel behind a consistent-hash ring with successor-list replication.
+type Cluster struct {
+	k       *sim.Kernel
+	cfg     ReplicaConfig
+	ring    *Ring
+	nodes   []*node
+	budgets map[int]int64 // tenant -> failovers consumed
+	stats   ClusterStats
+	obs     clusterObs
+}
+
+// OpenCluster builds the shard stacks and opens their stores. Call from a
+// process on the kernel that will drive the cluster; the stores' daemons
+// (group-commit leaders, flushers, compactors) spawn onto the same kernel.
+func OpenCluster(p *sim.Proc, cfg ReplicaConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		k: p.Kernel(), cfg: cfg,
+		ring:    NewRing(cfg.Shards, cfg.VNodes),
+		budgets: make(map[int]int64),
+	}
+	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
+		c.obs = clusterObs{
+			failovers: reg.Counter("kvcluster/failovers"),
+			repairs:   reg.Counter("kvcluster/read.repairs"),
+			hedged:    reg.Counter("kvcluster/hedged.reads"),
+			shed:      reg.Counter("kvcluster/degraded.shed"),
+			repWrites: reg.Counter("kvcluster/replica.writes"),
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		prof := cfg.Profile(cfg.Device(i))
+		prof.Name = fmt.Sprintf("%s/replica%d", prof.Name, i)
+		if prof.Metrics == nil {
+			prof.Metrics = cfg.Metrics
+		}
+		if prof.Retry == nil {
+			prof.Retry = cfg.Retry
+		}
+		st := core.NewStack(c.k, prof)
+		store, err := kvwal.Open(p, st, cfg.Store)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &node{stack: st, store: store})
+	}
+	return c, nil
+}
+
+// Stats returns cumulative statistics.
+func (c *Cluster) Stats() ClusterStats { return c.stats }
+
+// Ring returns the placement ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Store returns shard i's store (verification hooks).
+func (c *Cluster) Store(i int) *kvwal.Store { return c.nodes[i].store }
+
+// Stack returns shard i's IO stack (fault hooks, crash injection).
+func (c *Cluster) Stack(i int) *core.Stack { return c.nodes[i].stack }
+
+// Down reports whether shard i is marked dead.
+func (c *Cluster) Down(i int) bool { return c.nodes[i].down }
+
+// KillShard marks shard i dead: it stops serving reads and writes
+// (fail-stop at the service level; its device and daemons idle on). Reads
+// of its keys fail over to the surviving replicas; writes commit on the
+// remaining replica set.
+func (c *Cluster) KillShard(i int) { c.nodes[i].down = true }
+
+// ReviveShard returns a killed shard to service. Its store missed every
+// write that committed while it was down; read-repair backfills touched
+// keys on demand.
+func (c *Cluster) ReviveShard(i int) { c.nodes[i].down = false }
+
+// Put writes key to every live replica and returns once all of their
+// group commits acknowledged (write-both).
+func (c *Cluster) Put(p *sim.Proc, key string) error { return c.PutT(p, 0, key) }
+
+// PutT is Put with a tenant tag (per-tenant accounting).
+func (c *Cluster) PutT(p *sim.Proc, tenant int, key string) error {
+	return c.applyT(p, tenant, kvwal.Op{Kind: kvwal.Put, Key: key})
+}
+
+// DeleteT submits a tombstone to every live replica.
+func (c *Cluster) DeleteT(p *sim.Proc, tenant int, key string) error {
+	return c.applyT(p, tenant, kvwal.Op{Kind: kvwal.Delete, Key: key})
+}
+
+func (c *Cluster) applyT(p *sim.Proc, tenant int, op kvwal.Op) error {
+	owners := c.ring.ShardsFor(op.Key, c.cfg.Replicas)
+	// Fan the write out to every live owner first, then wait: the replica
+	// group commits overlap instead of serializing.
+	batches := make([]*kvwal.Batch, 0, len(owners))
+	for _, s := range owners {
+		n := c.nodes[s]
+		if n.down {
+			continue
+		}
+		batches = append(batches, n.store.ApplyAsync(p.Now(), []kvwal.Op{op}))
+	}
+	if len(batches) == 0 {
+		c.stats.Unavailable++
+		return ErrUnavailable
+	}
+	for _, b := range batches {
+		b.Wait(p)
+	}
+	c.stats.Writes++
+	c.stats.ReplicaWrites += int64(len(batches))
+	c.obs.repWrites.Add(int64(len(batches)))
+	return nil
+}
+
+// Get reads key from its primary, failing over down the replica list on a
+// dead shard or a hard media error. It reports the newest committed
+// sequence for the key and whether the key is live.
+func (c *Cluster) Get(p *sim.Proc, key string) (uint64, bool, error) {
+	return c.GetT(p, 0, key)
+}
+
+// GetT is Get with a tenant tag: the tenant's failover budget throttles
+// how often its reads may be retried on replicas.
+func (c *Cluster) GetT(p *sim.Proc, tenant int, key string) (uint64, bool, error) {
+	c.stats.Reads++
+	owners := c.ring.ShardsFor(key, c.cfg.Replicas)
+	var errShards []int
+	var lastErr error
+	for tried, s := range owners {
+		n := c.nodes[s]
+		if tried > 0 || n.down {
+			// Moving past the primary — or serving a key whose primary is
+			// dead — is a failover; charge the tenant's budget.
+			if !c.chargeFailover(tenant) {
+				return 0, false, lastErrOr(lastErr)
+			}
+		}
+		if n.down {
+			continue
+		}
+		seq, ok, err := c.readNode(p, n, tried, owners, key)
+		if err != nil {
+			errShards = append(errShards, s)
+			lastErr = err
+			continue
+		}
+		if ok && len(errShards) > 0 {
+			c.readRepair(p, key, errShards)
+		}
+		return seq, ok, nil
+	}
+	c.stats.Unavailable++
+	return 0, false, lastErrOr(lastErr)
+}
+
+func lastErrOr(err error) error {
+	if err != nil {
+		return err
+	}
+	return ErrUnavailable
+}
+
+// chargeFailover consumes one unit of the tenant's failover budget,
+// reporting false — shed the read — once it is exhausted.
+func (c *Cluster) chargeFailover(tenant int) bool {
+	if c.cfg.TenantFailovers > 0 && c.budgets[tenant] >= c.cfg.TenantFailovers {
+		c.stats.DegradedSheds++
+		c.obs.shed.Inc()
+		return false
+	}
+	c.budgets[tenant]++
+	c.stats.Failovers++
+	c.obs.failovers.Inc()
+	return true
+}
+
+// readNode reads key from n, hedging onto the next live replica when the
+// primary read outlives the hedge timer (GC-interference latency spikes).
+func (c *Cluster) readNode(p *sim.Proc, n *node, tried int, owners []int, key string) (uint64, bool, error) {
+	if c.cfg.HedgeAfter <= 0 || tried != 0 {
+		return n.store.GetE(p, key)
+	}
+	var backup *node
+	for _, s := range owners[1:] {
+		if !c.nodes[s].down {
+			backup = c.nodes[s]
+			break
+		}
+	}
+	if backup == nil {
+		return n.store.GetE(p, key)
+	}
+	return c.hedgedGet(p, n, backup, key)
+}
+
+// hedgeRace is the client/helper rendezvous of one hedged read.
+type hedgeRace struct {
+	client  *sim.Proc
+	settled bool
+	timeout bool
+	seq     uint64
+	ok      bool
+	err     error
+}
+
+func (hr *hedgeRace) settle(k *sim.Kernel, seq uint64, ok bool, err error) {
+	if hr.settled {
+		return // the other leg won; drop this result
+	}
+	hr.settled = true
+	hr.seq, hr.ok, hr.err = seq, ok, err
+	if hr.client != nil {
+		k.Resume(hr.client)
+	}
+}
+
+// hedgedGet races a primary read against a timer; if the timer fires
+// first, a second read starts on the backup replica and the first
+// completion wins. Losing legs run to completion and drop their results.
+func (c *Cluster) hedgedGet(p *sim.Proc, primary, backup *node, key string) (uint64, bool, error) {
+	hr := &hedgeRace{client: p}
+	c.k.Spawn("kvc/hedge-primary", func(hp *sim.Proc) {
+		seq, ok, err := primary.store.GetE(hp, key)
+		hr.settle(c.k, seq, ok, err)
+	})
+	c.k.Spawn("kvc/hedge-timer", func(tp *sim.Proc) {
+		tp.Advance(c.cfg.HedgeAfter)
+		if hr.settled {
+			return
+		}
+		hr.timeout = true
+		if hr.client != nil {
+			c.k.Resume(hr.client)
+		}
+	})
+	for !hr.settled && !hr.timeout {
+		p.Suspend()
+	}
+	if !hr.settled {
+		// Timer fired first: hedge onto the backup.
+		c.stats.HedgedReads++
+		c.obs.hedged.Inc()
+		c.k.Spawn("kvc/hedge-backup", func(bp *sim.Proc) {
+			seq, ok, err := backup.store.GetE(bp, key)
+			hr.settle(c.k, seq, ok, err)
+		})
+		for !hr.settled {
+			p.Suspend()
+		}
+	}
+	hr.client = nil
+	return hr.seq, hr.ok, hr.err
+}
+
+// readRepair re-primes the replicas that failed the read with an async
+// Put of the key: their next read of it lands in the memtable instead of
+// the uncorrectable segment page. Best effort — no wait, dead shards are
+// skipped.
+func (c *Cluster) readRepair(p *sim.Proc, key string, shards []int) {
+	for _, s := range shards {
+		n := c.nodes[s]
+		if n.down {
+			continue
+		}
+		n.store.ApplyAsync(p.Now(), []kvwal.Op{{Kind: kvwal.Put, Key: key}})
+		c.stats.ReadRepairs++
+		c.obs.repairs.Inc()
+	}
+}

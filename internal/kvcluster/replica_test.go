@@ -1,0 +1,363 @@
+package kvcluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/kvwal"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func TestShardsForPlacement(t *testing.T) {
+	r := NewRing(5, 64)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("u%07d", i)
+		owners := r.ShardsFor(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %s: want 3 owners, got %v", key, owners)
+		}
+		if owners[0] != r.Shard(key) {
+			t.Fatalf("key %s: primary %d != Shard() %d", key, owners[0], r.Shard(key))
+		}
+		seen := map[int]bool{}
+		for _, s := range owners {
+			if seen[s] {
+				t.Fatalf("key %s: duplicate owner in %v", key, owners)
+			}
+			seen[s] = true
+		}
+		// Deterministic across rings.
+		again := NewRing(5, 64).ShardsFor(key, 3)
+		for j := range owners {
+			if owners[j] != again[j] {
+				t.Fatalf("key %s: placement not deterministic: %v vs %v", key, owners, again)
+			}
+		}
+	}
+	// Clamp: asking for more replicas than shards.
+	if got := r.ShardsFor("k", 99); len(got) != 5 {
+		t.Fatalf("want clamp to 5 shards, got %v", got)
+	}
+}
+
+// Marking a shard down must only promote the next distinct owner for keys
+// it served; every other key's replica list is untouched — the consistent
+// hashing stability property carried over to failover routing.
+func TestShardsForUpStableUnderShardDeath(t *testing.T) {
+	r := NewRing(5, 64)
+	const dead = 2
+	down := func(s int) bool { return s == dead }
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("u%07d", i)
+		full := r.ShardsFor(key, 2)
+		up := r.ShardsForUp(key, 2, down)
+		if len(up) != 2 {
+			t.Fatalf("key %s: want 2 live owners, got %v", key, up)
+		}
+		for _, s := range up {
+			if s == dead {
+				t.Fatalf("key %s: dead shard routed: %v", key, up)
+			}
+		}
+		touched := full[0] == dead || full[1] == dead
+		if !touched {
+			// Keys that never lived on the dead shard must keep their exact
+			// replica list.
+			if up[0] != full[0] || up[1] != full[1] {
+				t.Fatalf("key %s: untouched key remapped: %v -> %v", key, full, up)
+			}
+			continue
+		}
+		// Touched keys: the surviving owners stay, in order.
+		want := []int{}
+		for _, s := range r.ShardsFor(key, 3) {
+			if s != dead {
+				want = append(want, s)
+			}
+		}
+		for j := range up {
+			if up[j] != want[j] {
+				t.Fatalf("key %s: failover promotion wrong: got %v want %v", key, up, want[:2])
+			}
+		}
+	}
+}
+
+// uncPlan gives a device certain media errors: every host read attempt
+// draws an uncorrectable sector, plus GC-interference latency windows.
+func uncPlan(seed uint64) *fault.Plan {
+	return &fault.Plan{
+		Seed:            seed,
+		ReadUNCProb:     1.0,
+		ReadRetryLadder: []sim.Duration{20 * sim.Microsecond, 40 * sim.Microsecond},
+		ReadRetryProb:   0.5,
+		GCPeriod:        2 * sim.Millisecond,
+		GCDuration:      200 * sim.Microsecond,
+		GCReadFactor:    4,
+		GCProgramFactor: 2,
+	}
+}
+
+// smallStore keeps the memtable tiny so keys reach segment files (where
+// media-error injection bites reads) quickly.
+func smallStore() kvwal.Config {
+	cfg := kvwal.DefaultConfig()
+	cfg.MemtableCap = 8
+	cfg.WALPages = 128
+	cfg.EvictSegments = true
+	return cfg
+}
+
+// The acceptance scenario: a 3-shard, R=2 cluster whose shard-0 device
+// certainly corrupts every host read. Replication must hide it — every
+// acknowledged write stays readable (zero acked loss), failovers and
+// block-layer retries show up in the counters — while the unreplicated
+// baseline surfaces hard read errors for the same plan.
+func TestReplicatedClusterSurvivesMediaErrors(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pol := block.DefaultRetryPolicy()
+	cfg := ReplicaConfig{
+		Shards:   3,
+		Replicas: 2,
+		Device: func(i int) device.Config {
+			d := device.NVMeSSD()
+			if i == 0 {
+				d.Fault = uncPlan(42)
+			}
+			return d
+		},
+		Store:   smallStore(),
+		Retry:   &pol,
+		Metrics: reg,
+	}
+
+	k := sim.NewKernel()
+	defer k.Close()
+	acked := map[string]uint64{}
+	var lost, readErrs int
+	var stats ClusterStats
+	k.Spawn("client", func(p *sim.Proc) {
+		cl, err := OpenCluster(p, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		const n = 64
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%05d", i)
+			if err := cl.Put(p, key); err != nil {
+				t.Errorf("put %s: %v", key, err)
+				return
+			}
+			// Write-both acknowledged: record the key as durable-or-ordered.
+			acked[key] = uint64(i + 1)
+		}
+		// Let flushes push keys into segment files on all shards.
+		p.Sleep(5 * sim.Millisecond)
+		for key := range acked {
+			_, ok, err := cl.Get(p, key)
+			if err != nil || !ok {
+				lost++
+				t.Errorf("acked key %s lost: ok=%v err=%v", key, ok, err)
+			}
+		}
+		stats = cl.Stats()
+	})
+	k.Run()
+
+	if lost != 0 {
+		t.Fatalf("%d acknowledged keys lost", lost)
+	}
+	if stats.Writes == 0 || stats.ReplicaWrites != 2*stats.Writes {
+		t.Errorf("write-both accounting: %+v", stats)
+	}
+	if stats.Failovers == 0 {
+		t.Errorf("expected read failovers on the faulty primary: %+v", stats)
+	}
+	if stats.ReadRepairs == 0 {
+		t.Errorf("expected read repairs after failover: %+v", stats)
+	}
+	if got := reg.Counter("block/retries").Value(); got == 0 {
+		t.Errorf("block-layer retries not visible in metrics")
+	}
+	if got := reg.Counter("block/io.errors").Value(); got == 0 {
+		t.Errorf("hard IO errors not visible in metrics")
+	}
+	if got := reg.Counter("kvcluster/failovers").Value(); got != stats.Failovers {
+		t.Errorf("failover counter %d != stats %d", got, stats.Failovers)
+	}
+
+	// Unreplicated baseline, same fault plan: hard read errors reach the
+	// client.
+	base := cfg
+	base.Shards = 1
+	base.Replicas = 1
+	base.Metrics = metrics.NewRegistry()
+	k2 := sim.NewKernel()
+	defer k2.Close()
+	k2.Spawn("client", func(p *sim.Proc) {
+		cl, err := OpenCluster(p, base)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		const n = 64
+		for i := 0; i < n; i++ {
+			cl.Put(p, fmt.Sprintf("k%05d", i))
+		}
+		p.Sleep(5 * sim.Millisecond)
+		for i := 0; i < n; i++ {
+			if _, _, err := cl.Get(p, fmt.Sprintf("k%05d", i)); err != nil {
+				readErrs++
+			}
+		}
+	})
+	k2.Run()
+	if readErrs == 0 {
+		t.Fatalf("unreplicated baseline hid every media error")
+	}
+}
+
+// Shard death mid-traffic: routing stays deterministic, in-flight and
+// subsequent operations complete on the survivors, and acked writes that
+// had a live replica remain readable. Run under -race in CI: many client
+// procs mutate through the cluster while the killer marks a shard down.
+func TestClusterConcurrentOpsDuringFailover(t *testing.T) {
+	cfg := ReplicaConfig{
+		Shards:   3,
+		Replicas: 2,
+		Store:    smallStore(),
+	}
+	k := sim.NewKernel()
+	defer k.Close()
+	var cl *Cluster
+	ready := false
+	k.Spawn("opener", func(p *sim.Proc) {
+		c, err := OpenCluster(p, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cl = c
+		ready = true
+	})
+	const workers, perWorker = 8, 24
+	acked := make([][]string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		k.SpawnIdx("worker", w, func(p *sim.Proc) {
+			for !ready {
+				p.Sleep(100 * sim.Microsecond)
+			}
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-%05d", w, i)
+				if err := cl.Put(p, key); err != nil {
+					continue // no live replica pair — not acked, no promise
+				}
+				acked[w] = append(acked[w], key)
+				if _, _, err := cl.Get(p, key); err != nil {
+					t.Errorf("read-your-write %s: %v", key, err)
+				}
+			}
+		})
+	}
+	k.Spawn("killer", func(p *sim.Proc) {
+		for !ready {
+			p.Sleep(100 * sim.Microsecond)
+		}
+		p.Advance(2 * sim.Millisecond)
+		cl.KillShard(1)
+	})
+	k.Run()
+
+	// Post-mortem in a fresh proc: every acked key must still be readable
+	// with one shard dead (its replica survives).
+	k3 := false
+	k.Spawn("audit", func(p *sim.Proc) {
+		for w := range acked {
+			for _, key := range acked[w] {
+				if _, ok, err := cl.Get(p, key); err != nil || !ok {
+					t.Errorf("acked key %s unreadable after shard death: ok=%v err=%v", key, ok, err)
+				}
+			}
+		}
+		k3 = true
+	})
+	k.Run()
+	if !k3 {
+		t.Fatal("audit proc never ran")
+	}
+	if cl.Stats().Failovers == 0 {
+		t.Error("no failovers recorded despite shard death")
+	}
+}
+
+// Tenant budgets: a tenant hammering a certainly-failing primary exhausts
+// its failover allowance and gets shed instead of endlessly retried.
+func TestTenantFailoverBudgetSheds(t *testing.T) {
+	pol := block.RetryPolicy{ReadBudget: 1, WriteBudget: 1, Backoff: 10 * sim.Microsecond}
+	cfg := ReplicaConfig{
+		Shards:   3,
+		Replicas: 2,
+		Device: func(i int) device.Config {
+			d := device.NVMeSSD()
+			d.Fault = uncPlan(uint64(7 + i)) // every shard's reads fail
+			return d
+		},
+		Store:           smallStore(),
+		Retry:           &pol,
+		TenantFailovers: 4,
+	}
+	k := sim.NewKernel()
+	defer k.Close()
+	var stats ClusterStats
+	k.Spawn("client", func(p *sim.Proc) {
+		cl, err := OpenCluster(p, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		const n = 48
+		for i := 0; i < n; i++ {
+			cl.PutT(p, 0, fmt.Sprintf("k%05d", i))
+		}
+		p.Sleep(5 * sim.Millisecond)
+		for i := 0; i < n; i++ {
+			cl.GetT(p, 0, fmt.Sprintf("k%05d", i))
+		}
+		stats = cl.Stats()
+	})
+	k.Run()
+	if stats.Failovers == 0 {
+		t.Fatalf("expected failovers before the budget bit: %+v", stats)
+	}
+	if stats.Failovers > cfg.TenantFailovers {
+		t.Errorf("budget not enforced: %d failovers > budget %d", stats.Failovers, cfg.TenantFailovers)
+	}
+	if stats.DegradedSheds == 0 {
+		t.Errorf("expected degraded sheds once the budget ran out: %+v", stats)
+	}
+}
+
+func TestRunReplicatedTraffic(t *testing.T) {
+	rc := ReplicaConfig{Shards: 2, Replicas: 2, Store: smallStore()}
+	res := RunReplicated(rc, smallTraffic(20_000), 32, 0)
+	if res.Offered == 0 || res.Done == 0 {
+		t.Fatalf("no measured traffic: %+v", res)
+	}
+	if res.Mode != Replicated {
+		t.Errorf("mode %v, want replicated", res.Mode)
+	}
+	if res.Admitted+res.Shed != res.Offered {
+		t.Errorf("admission accounting broken: %+v", res)
+	}
+	res2 := RunReplicated(rc, smallTraffic(20_000), 32, 0)
+	if res.Good != res2.Good || res.Done != res2.Done {
+		t.Errorf("replicated run not deterministic: good %d vs %d, done %d vs %d",
+			res.Good, res2.Good, res.Done, res2.Done)
+	}
+}

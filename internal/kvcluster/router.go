@@ -84,3 +84,44 @@ func (r *Ring) Shard(key string) int {
 	}
 	return r.points[i].shard
 }
+
+// ShardsFor returns the n distinct shards owning key, primary first: the
+// owners of the first n distinct-shard points walking clockwise from the
+// key's hash. This is classic successor-list replica placement — replicas
+// are deterministic per key, spread by the vnode shuffle, and stable under
+// membership marks (the ring itself never changes; a down shard is skipped
+// at routing time, see ShardsForUp). n is clamped to the shard count.
+func (r *Ring) ShardsFor(key string, n int) []int {
+	return r.shardsFor(key, n, nil)
+}
+
+// ShardsForUp is ShardsFor restricted to shards for which down reports
+// false. The walk still visits every point in clockwise order, so marking
+// a shard down only promotes the next distinct owner — every other key's
+// placement is untouched (the consistent-hashing stability property, now
+// load-bearing for failover determinism).
+func (r *Ring) ShardsForUp(key string, n int, down func(int) bool) []int {
+	return r.shardsFor(key, n, down)
+}
+
+func (r *Ring) shardsFor(key string, n int, down func(int) bool) []int {
+	if n <= 0 {
+		n = 1
+	}
+	if n > r.shards {
+		n = r.shards
+	}
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		s := r.points[(i+scanned)%len(r.points)].shard
+		if seen[s] || (down != nil && down(s)) {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}

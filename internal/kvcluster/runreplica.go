@@ -1,0 +1,120 @@
+package kvcluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Open-loop traffic runner for the replicated deployment: the same offered
+// load, admission control and SLO accounting as Run, but every request is
+// served through the Cluster's replicated paths — writes fan out to R
+// replicas, reads fail over past media errors and dead shards. One kernel
+// hosts all the shard stacks, so the run is deterministic under the
+// traffic seed like the other modes.
+
+// RunReplicated drives a replicated cluster under tr and reports the
+// measured-window outcome. inflight bounds cluster-wide outstanding
+// requests (shed-and-count beyond it; default 64); slo is the latency
+// objective (default 2ms). killAt, when non-zero, marks shard killShard
+// dead at that instant — the degraded-operation experiment.
+func RunReplicated(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Duration) Result {
+	return RunReplicatedKill(rc, tr, inflight, slo, 0, 0)
+}
+
+// RunReplicatedKill is RunReplicated with a scheduled shard death.
+func RunReplicatedKill(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Duration,
+	killShard int, killAt sim.Time) Result {
+	rc = rc.withDefaults()
+	tr = tr.withDefaults()
+	if inflight <= 0 {
+		inflight = 64
+	}
+	if slo <= 0 {
+		slo = 2 * sim.Millisecond
+	}
+	reqs := tr.Generate()
+	engine := fmt.Sprintf("%s+r%d", rc.Profile(rc.Device(0)).Name, rc.Replicas)
+
+	k := sim.NewKernel()
+	defer k.Close()
+	out := shardOutcome{}
+	run := &shardRun{}
+	q := sim.NewQueue[Request](k)
+	var cl *Cluster
+	ready := false
+
+	k.Spawn("kvc/open", func(p *sim.Proc) {
+		c, err := OpenCluster(p, rc)
+		if err != nil {
+			panic(err)
+		}
+		cl = c
+		ready = true
+	})
+	if killAt > 0 {
+		k.Spawn("kvc/reaper", func(p *sim.Proc) {
+			p.Advance(sim.Duration(killAt))
+			if cl != nil {
+				cl.KillShard(killShard)
+			}
+		})
+	}
+	k.Spawn("kvc/dispatch", func(p *sim.Proc) {
+		for !ready {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		for _, r := range reqs {
+			if r.At > p.Now() {
+				p.Sleep(sim.Duration(r.At - p.Now()))
+			}
+			if run.outstanding >= inflight {
+				if r.measured(tr) {
+					out.shed++
+				}
+				continue
+			}
+			run.outstanding++
+			if r.measured(tr) {
+				out.admitted++
+			}
+			q.Put(r)
+		}
+		run.dispatched = true
+	})
+	for w := 0; w < inflight; w++ {
+		k.SpawnIdx("kvc/worker", w, func(p *sim.Proc) {
+			for {
+				r, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				var err error
+				switch r.Class {
+				case workload.ClassGet:
+					_, _, err = cl.GetT(p, r.Tenant, r.Key)
+				case workload.ClassDelete:
+					err = cl.DeleteT(p, r.Tenant, r.Key)
+				default:
+					err = cl.PutT(p, r.Tenant, r.Key)
+				}
+				lat := sim.Duration(p.Now() - r.At)
+				run.outstanding--
+				if r.measured(tr) {
+					// A failed operation cannot have met its SLO, whatever
+					// its latency.
+					out.samples = append(out.samples, latSample{
+						tenant: r.Tenant, d: lat, good: err == nil && lat <= slo,
+					})
+				}
+			}
+		})
+	}
+	drive(k, []*shardRun{run}, sim.Time(tr.Warmup+tr.Duration))
+
+	res := aggregate(Config{Shards: rc.Shards, Mode: Replicated, SLO: slo}.withDefaults(),
+		tr, engine, [][]Request{reqs}, []shardOutcome{out})
+	res.Shards = rc.Shards
+	return res
+}

@@ -93,6 +93,9 @@ func (st *Store) writeSegment(p *sim.Proc, ents []segEnt) *segment {
 		}
 	}
 	st.fs.Fdatasync(p, f) // allocation metadata + cache flush: durable
+	if st.cfg.EvictSegments {
+		st.fs.EvictClean(f)
+	}
 	seg.entries = ents
 	st.segByID[seg.id] = seg
 	return seg

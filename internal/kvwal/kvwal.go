@@ -88,6 +88,12 @@ type Config struct {
 	// process-wide live registry, and a nil resolution disables the store's
 	// instruments.
 	Metrics *metrics.Registry
+	// EvictSegments drops a segment's clean pages from the page cache once
+	// the segment is durable, so segment reads hit the device instead of
+	// the cache — fadvise(DONTNEED) on the write path. Off by default (the
+	// bench configurations keep the cache-warm behaviour); the fault
+	// campaign turns it on so injected media errors are reachable.
+	EvictSegments bool
 }
 
 // DefaultConfig returns a small, flush-happy configuration that exercises
@@ -302,18 +308,48 @@ func (st *Store) BarrierCommit() bool { return st.barrierCommit }
 // — see ForceCheckpoint). It returns the sequence number of the batch's
 // last operation.
 func (st *Store) Apply(p *sim.Proc, ops []Op) uint64 {
+	return st.ApplyAsync(p.Now(), ops).Wait(p)
+}
+
+// Batch is an in-flight asynchronous submission (ApplyAsync).
+type Batch struct {
+	st *Store
+	b  *batch
+}
+
+// ApplyAsync enqueues a batch for the group-commit leader without waiting.
+// It lets one client drive several stores at once — a replicated write
+// submits to every replica's leader and then waits on all the batches, so
+// the replicas commit in parallel instead of serially (internal/kvcluster's
+// write-both path).
+func (st *Store) ApplyAsync(now sim.Time, ops []Op) *Batch {
+	bt := &Batch{st: st, b: &batch{ops: ops, enqueued: now}}
 	if len(ops) == 0 {
-		return st.committedSeq
+		bt.b.done = true
+		return bt
 	}
-	b := &batch{ops: ops, enqueued: p.Now()}
-	st.q.Put(b)
+	st.q.Put(bt.b)
+	return bt
+}
+
+// Wait blocks until the batch's group commit and returns the sequence
+// number of its last operation (the store's committed sequence for an
+// empty batch).
+func (bt *Batch) Wait(p *sim.Proc) uint64 {
+	b := bt.b
 	for !b.done {
 		b.waiter = p
 		p.Suspend()
 	}
 	b.waiter = nil
+	if len(b.ops) == 0 {
+		return bt.st.committedSeq
+	}
 	return b.lastSeq
 }
+
+// Done reports whether the batch's group commit finished (non-blocking).
+func (bt *Batch) Done() bool { return bt.b.done }
 
 // PutKey submits a single Put.
 func (st *Store) PutKey(p *sim.Proc, key string) uint64 {
@@ -328,26 +364,37 @@ func (st *Store) DeleteKey(p *sim.Proc, key string) uint64 {
 // Get returns the sequence number of the newest committed Put for key, or
 // false if the key is absent or deleted. Lookups walk memtable, frozen
 // memtable, then segments newest-first; a segment hit charges the read IO
-// of its page.
+// of its page. A hard media failure reads as an absent key; callers that
+// must distinguish the two use GetE.
 func (st *Store) Get(p *sim.Proc, key string) (uint64, bool) {
+	seq, ok, _ := st.GetE(p, key)
+	return seq, ok
+}
+
+// GetE is Get with the IO error surfaced: when the segment page backing
+// the key fails hard (uncorrectable sector, retry budget exhausted), GetE
+// returns the error so the caller can fail over to a replica.
+func (st *Store) GetE(p *sim.Proc, key string) (uint64, bool, error) {
 	st.stats.Gets++
 	if e, ok := st.mem[key]; ok {
-		return e.seq, !e.del
+		return e.seq, !e.del, nil
 	}
 	if st.imm != nil {
 		if e, ok := st.imm[key]; ok {
-			return e.seq, !e.del
+			return e.seq, !e.del, nil
 		}
 	}
 	for i := len(st.segs) - 1; i >= 0; i-- {
 		seg := st.segs[i]
 		if n, ok := seg.byKey[key]; ok {
 			e := seg.entries[n]
-			st.fs.Read(p, st.fileOf(seg), e.page)
-			return e.seq, !e.del
+			if _, _, err := st.fs.ReadE(p, st.fileOf(seg), e.page); err != nil {
+				return 0, false, err
+			}
+			return e.seq, !e.del, nil
 		}
 	}
-	return 0, false
+	return 0, false, nil
 }
 
 // fileOf resolves a segment's inode by name (segments can be recreated by

@@ -14,6 +14,7 @@ package nand
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -93,8 +94,15 @@ type Request struct {
 	Done  func(at sim.Time, r *Request)
 
 	// Err is set before Done fires when the operation violated a NAND
-	// constraint (e.g. out-of-order program). Such operations do nothing.
+	// constraint (e.g. out-of-order program) or hit an injected media
+	// error (fault.ErrUNC). Such operations return no data.
 	Err error
+
+	// NoFault exempts the request from media-error injection: device-
+	// internal reads (GC relocation, recovery scans) are protected by
+	// on-die parity in real drives and must never silently lose data.
+	// GC-interference latency scaling still applies.
+	NoFault bool
 
 	gen uint64 // power-cycle generation at submit time
 }
@@ -160,8 +168,17 @@ type Array struct {
 	// model the 5% barrier-overhead penalty of the paper's plain-SSD setup.
 	ProgramScale float64
 
+	// fault, when set, injects media read errors, read-retry latency,
+	// transient program retries and GC-interference scaling. Nil (the
+	// default) makes zero draws and changes nothing.
+	fault *fault.Injector
+
 	stats Stats
 }
+
+// SetFault installs a fault injector. Must be called before the kernel
+// runs; nil disables injection.
+func (a *Array) SetFault(in *fault.Injector) { a.fault = in }
 
 // New builds the array and spawns one service process per chip.
 func New(k *sim.Kernel, geo Geometry, timing Timing) *Array {
@@ -240,6 +257,37 @@ func (a *Array) serve(p *sim.Proc, c *chip) {
 	}
 }
 
+// programLatency returns the cell-program time for one attempt starting
+// at now: the base tPROG (with the device's ProgramScale), inflated by
+// injected GC interference and transient in-chip retries (each retry
+// re-pays the cell time). With no injector this is exactly the base term.
+func (a *Array) programLatency(now sim.Time) sim.Duration {
+	d := a.timing.Program.Scale(a.ProgramScale)
+	if a.fault != nil {
+		d = d.Scale(a.fault.GCProgramScale(now))
+		if n := a.fault.ProgramRetries(); n > 0 {
+			d += d.Scale(float64(n))
+		}
+	}
+	return d
+}
+
+// readLatency returns the array-read time for an attempt starting at now
+// plus any injected read-retry ladder latency, and the attempt's media
+// error (fault.ErrUNC) if the retries did not correct it. NoFault
+// requests skip the error draws but still see GC-interference scaling.
+func (a *Array) readLatency(now sim.Time, r *Request) (sim.Duration, error) {
+	if a.fault == nil {
+		return a.timing.Read, nil
+	}
+	var extra sim.Duration
+	var err error
+	if !r.NoFault {
+		extra, err = a.fault.Read()
+	}
+	return (a.timing.Read + extra).Scale(a.fault.GCReadScale(now)), err
+}
+
 func (a *Array) doProgram(p *sim.Proc, c *chip, r *Request) {
 	blk := &c.blocks[r.Block]
 	if r.Page != blk.next {
@@ -255,7 +303,7 @@ func (a *Array) doProgram(p *sim.Proc, c *chip, r *Request) {
 	bus.Acquire(p, 1)
 	p.Advance(a.timing.BusXfer)
 	bus.Release(1)
-	p.Advance(a.timing.Program.Scale(a.ProgramScale))
+	p.Advance(a.programLatency(p.Now()))
 	if r.gen != a.gen || a.failed {
 		// Power failed mid-program: the page is lost, not half-written in
 		// any observable way (we model clean page loss; the recovery scan
@@ -272,7 +320,9 @@ func (a *Array) doProgram(p *sim.Proc, c *chip, r *Request) {
 }
 
 func (a *Array) doRead(p *sim.Proc, c *chip, r *Request) {
-	p.Advance(a.timing.Read)
+	d, ferr := a.readLatency(p.Now(), r)
+	r.Err = ferr
+	p.Advance(d)
 	bus := a.buses[c.ch]
 	bus.Acquire(p, 1)
 	p.Advance(a.timing.BusXfer)
@@ -281,8 +331,10 @@ func (a *Array) doRead(p *sim.Proc, c *chip, r *Request) {
 		a.stats.LostJobs++
 		return
 	}
-	ps := c.blocks[r.Block].pages[r.Page]
-	r.Meta, r.Data = ps.meta, ps.data
+	if r.Err == nil {
+		ps := c.blocks[r.Block].pages[r.Page]
+		r.Meta, r.Data = ps.meta, ps.data
+	}
 	a.stats.Reads++
 	if r.Done != nil {
 		r.Done(p.Now(), r)
@@ -346,7 +398,9 @@ func (a *Array) chipStep(h *sim.Proc, c *chip) {
 				c.phase = chipPgmBus
 			case OpRead:
 				c.phase = chipReadCell
-				if d := a.timing.Read; d > 0 {
+				d, ferr := a.readLatency(h.Now(), r)
+				r.Err = ferr
+				if d > 0 {
 					h.WakeIn(d)
 					return
 				}
@@ -370,7 +424,7 @@ func (a *Array) chipStep(h *sim.Proc, c *chip) {
 		case chipPgmXfer:
 			a.buses[c.ch].Release(1)
 			c.phase = chipPgmCell
-			if d := a.timing.Program.Scale(a.ProgramScale); d > 0 {
+			if d := a.programLatency(h.Now()); d > 0 {
 				h.WakeIn(d)
 				return
 			}
@@ -411,8 +465,10 @@ func (a *Array) chipStep(h *sim.Proc, c *chip) {
 				a.stats.LostJobs++
 				continue
 			}
-			ps := c.blocks[r.Block].pages[r.Page]
-			r.Meta, r.Data = ps.meta, ps.data
+			if r.Err == nil {
+				ps := c.blocks[r.Block].pages[r.Page]
+				r.Meta, r.Data = ps.meta, ps.data
+			}
 			a.stats.Reads++
 			if r.Done != nil {
 				r.Done(h.Now(), r)

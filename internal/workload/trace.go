@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Trace-replay arrivals: instead of a synthetic arrival process, replay a
+// recorded request stream through the open-loop engine. The format is
+// minimal JSONL — one object per line:
+//
+//	{"t": 120000, "op": "put", "key": "u0000042", "size": 4096}
+//
+// with t the arrival instant in nanoseconds from the start of the
+// recording, op one of get/put/delete, and size the payload in bytes
+// (carried through for engines that charge by it; the kv service ignores
+// it). Blank lines and lines starting with '#' are skipped.
+
+// TraceRow is one recorded request.
+type TraceRow struct {
+	T    sim.Duration // arrival offset from the start of the recording
+	Op   OpClass
+	Key  string
+	Size int64
+}
+
+// Trace is a recorded request stream, rows ascending by arrival offset.
+type Trace struct {
+	Rows []TraceRow
+}
+
+type traceJSON struct {
+	T    int64  `json:"t"`
+	Op   string `json:"op"`
+	Key  string `json:"key"`
+	Size int64  `json:"size"`
+}
+
+// ReadTrace parses a JSONL trace. Rows are stably sorted by arrival offset
+// (recorders that log at completion time produce slightly-out-of-order
+// rows; replay needs ascending arrivals).
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	tr := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		var row traceJSON
+		if err := json.Unmarshal([]byte(s), &row); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		if row.T < 0 {
+			return nil, fmt.Errorf("trace line %d: negative arrival %d", line, row.T)
+		}
+		var op OpClass
+		switch row.Op {
+		case "get", "":
+			op = ClassGet
+		case "put":
+			op = ClassPut
+		case "delete":
+			op = ClassDelete
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown op %q", line, row.Op)
+		}
+		tr.Rows = append(tr.Rows, TraceRow{
+			T: sim.Duration(row.T), Op: op, Key: row.Key, Size: row.Size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(tr.Rows, func(i, j int) bool { return tr.Rows[i].T < tr.Rows[j].T })
+	return tr, nil
+}
+
+// period is the trace's replay cycle length: the recorded span plus one
+// mean inter-arrival gap to close the cycle, so wrapping the trace to fill
+// a longer window preserves its mean rate exactly (n rows per period,
+// period/n == recorded mean gap).
+func (tr *Trace) period() sim.Duration {
+	n := len(tr.Rows)
+	if n == 0 {
+		return 0
+	}
+	span := tr.Rows[n-1].T - tr.Rows[0].T
+	if n == 1 || span <= 0 {
+		return 0
+	}
+	return span + span/sim.Duration(n-1)
+}
+
+// Times generates the replay arrival instants within [0, window),
+// ascending — the trace-side counterpart of ArrivalConfig.Times. The
+// recording is shifted to start at zero and wrapped cyclically until the
+// window is full; arrival i replays row i modulo the trace length (see
+// Row). Deterministic by construction: no random state at all.
+func (tr *Trace) Times(window sim.Duration) []sim.Time {
+	n := len(tr.Rows)
+	if n == 0 || window <= 0 {
+		return nil
+	}
+	base := tr.Rows[0].T
+	period := tr.period()
+	var out []sim.Time
+	if period <= 0 {
+		// Single row, or every row at the same instant: one shot, no cycle
+		// to preserve the rate of.
+		for _, r := range tr.Rows {
+			if r.T-base < window {
+				out = append(out, sim.Time(r.T-base))
+			}
+		}
+		return out
+	}
+	for cycle := sim.Duration(0); ; cycle += period {
+		for _, r := range tr.Rows {
+			t := cycle + (r.T - base)
+			if sim.Duration(t) >= window {
+				return out
+			}
+			out = append(out, sim.Time(t))
+		}
+	}
+}
+
+// Row returns the recorded row backing replay arrival i: Times emits the
+// rows cyclically in order, so the mapping is i modulo the trace length.
+func (tr *Trace) Row(i int) TraceRow {
+	return tr.Rows[i%len(tr.Rows)]
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestReadTraceParsesJSONL(t *testing.T) {
+	in := `# recorded 2026-08-01, kv frontend
+{"t": 0, "op": "put", "key": "a", "size": 4096}
+
+{"t": 250000, "op": "get", "key": "b"}
+{"t": 125000, "op": "delete", "key": "c", "size": 512}
+`
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TraceRow{
+		{T: 0, Op: ClassPut, Key: "a", Size: 4096},
+		{T: 125 * sim.Microsecond, Op: ClassDelete, Key: "c", Size: 512},
+		{T: 250 * sim.Microsecond, Op: ClassGet, Key: "b"},
+	}
+	if !reflect.DeepEqual(tr.Rows, want) {
+		t.Fatalf("rows %+v, want %+v", tr.Rows, want)
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"t": 1, "op": "frob", "key": "x"}`)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"t": -5, "op": "get", "key": "x"}`)); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}
+
+// uniformTrace records n rows with a fixed gap: mean rate is exactly
+// 1/gap, which replay must preserve when wrapping.
+func uniformTrace(n int, gap sim.Duration) *Trace {
+	tr := &Trace{}
+	for i := 0; i < n; i++ {
+		tr.Rows = append(tr.Rows, TraceRow{
+			T: sim.Duration(i) * gap, Op: ClassPut, Key: fmt.Sprintf("k%04d", i),
+		})
+	}
+	return tr
+}
+
+func TestTraceReplayDeterministic(t *testing.T) {
+	in := `{"t": 1000, "op": "put", "key": "a"}
+{"t": 90000, "op": "get", "key": "b"}
+{"t": 170000, "op": "get", "key": "c"}
+`
+	a, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ReadTrace(strings.NewReader(in))
+	const window = 3 * sim.Millisecond
+	ta, tb := a.Times(window), b.Times(window)
+	if len(ta) == 0 || !reflect.DeepEqual(ta, tb) {
+		t.Fatalf("replay not deterministic: %d vs %d arrivals", len(ta), len(tb))
+	}
+	for i := 1; i < len(ta); i++ {
+		if ta[i] < ta[i-1] {
+			t.Fatalf("arrivals not ascending at %d: %v < %v", i, ta[i], ta[i-1])
+		}
+	}
+	if last := sim.Duration(ta[len(ta)-1]); last >= window {
+		t.Fatalf("arrival beyond window: %v", last)
+	}
+	// Row mapping follows emission order cyclically.
+	for i := range ta {
+		if got, want := a.Row(i).Key, a.Rows[i%3].Key; got != want {
+			t.Fatalf("Row(%d) = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestTraceReplayPreservesMeanRate(t *testing.T) {
+	const gap = 100 * sim.Microsecond
+	tr := uniformTrace(50, gap) // span 4.9ms, period 5ms, mean rate 1/gap
+	const window = 50 * sim.Millisecond
+	out := tr.Times(window)
+	// Exact: 10 cycles of 50 rows each fill the 50ms window.
+	if want := int(window / gap); len(out) != want {
+		t.Fatalf("replay rate drifted: %d arrivals over %v, want %d", len(out), window, want)
+	}
+	// The wrapped cycles keep the recorded gap everywhere, including across
+	// the wrap seam.
+	for i := 1; i < len(out); i++ {
+		if d := sim.Duration(out[i] - out[i-1]); d != gap {
+			t.Fatalf("gap %v at %d, want %v", d, i, gap)
+		}
+	}
+}
+
+func TestTraceReplayDegenerate(t *testing.T) {
+	if got := (&Trace{}).Times(sim.Millisecond); got != nil {
+		t.Fatalf("empty trace produced arrivals: %v", got)
+	}
+	one := &Trace{Rows: []TraceRow{{T: 0, Op: ClassPut, Key: "a"}}}
+	if got := one.Times(sim.Millisecond); len(got) != 1 {
+		t.Fatalf("single-row trace: %v", got)
+	}
+}
