@@ -203,6 +203,35 @@ func crashmcJSON(r experiments.CrashMCResult) []map[string]any {
 	return rows
 }
 
+func rebalanceJSON(r experiments.RebalanceResult) []map[string]any {
+	rows := make([]map[string]any, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, map[string]any{
+			"config": row.Config, "scenario": row.Scenario, "phase": row.Phase,
+			"shards": row.Shards, "replicas": row.Replicas,
+			"goodput_per_s": row.GoodputPerS, "p99_ms": row.P99,
+			"shed_pct": row.ShedPct, "keys_moved": row.KeysMoved,
+			"dual_writes": row.DualWrites, "cutovers": row.Cutovers,
+			"aborts": row.Aborts, "acked_keys": row.AckedKeys,
+			"acked_lost": row.AckedLost,
+		})
+	}
+	return rows
+}
+
+func fsreplayJSON(r experiments.FSReplayResult) []map[string]any {
+	rows := make([]map[string]any, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, map[string]any{
+			"config": row.Config, "shards": row.Shards, "trace_rows": row.TraceRows,
+			"offered_per_s": row.OfferedPerS, "goodput_per_s": row.GoodputPerS,
+			"slo_pct": row.SLOPct, "shed_pct": row.ShedPct,
+			"p50_ms": row.P50, "p99_ms": row.P99,
+		})
+	}
+	return rows
+}
+
 func kvJSON(r experiments.KVResult) []map[string]any {
 	rows := make([]map[string]any, 0, len(r.Rows)+len(r.Crash))
 	for _, row := range r.Rows {

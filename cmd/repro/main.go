@@ -10,7 +10,8 @@
 //	repro trend  [-db bench.db] [-cell GLOB] [-last N] [-band]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mq kv kvcluster faults crash crashmc all. With no arguments, runs `all`. The
+// mq kv kvcluster faults crash crashmc rebalance fsreplay all. With no
+// arguments, runs `all`. The
 // `mq` experiment is the multi-queue scaling table (per-stream epochs vs
 // the global total order) added on top of the paper's evaluation; `kv` is
 // the barrier-enabled key-value store (internal/kvwal): group-commit
@@ -23,7 +24,11 @@
 // `crashmc` is the crash-state
 // model checker (internal/crashmc): states-explored and violation counts
 // per stack configuration, with EXT4-nobarrier's reachable ordering
-// violations as the positive control.
+// violations as the positive control; `rebalance` resizes the live ring
+// under open-loop traffic (N->N+1 and kill+rebuild) and reports the
+// goodput/p99 timeline around the migration with the zero-acked-loss
+// audit; `fsreplay` replays a recorded JSONL request trace (-trace, or a
+// deterministic synthetic recording) through the fs-backed KV service.
 //
 // Independent sweep cells run one simulation kernel per CPU (disable with
 // -parallel=false, e.g. when profiling a single kernel). -json emits the
@@ -54,6 +59,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/par"
+	"repro/internal/workload"
 )
 
 // runner regenerates one experiment, returning the text rendering and the
@@ -127,7 +133,19 @@ var runners = []runner{
 		r := experiments.CrashMC(s)
 		return r.String(), crashmcJSON(r)
 	}},
+	{"rebalance", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.Rebalance(s)
+		return r.String(), rebalanceJSON(r)
+	}},
+	{"fsreplay", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.FSReplay(s, replayTrace)
+		return r.String(), fsreplayJSON(r)
+	}},
 }
+
+// replayTrace is the -trace recording handed to the replay experiments
+// (nil: they fall back to a deterministic synthetic recording).
+var replayTrace *workload.Trace
 
 func main() {
 	if len(os.Args) > 1 {
@@ -148,7 +166,16 @@ func main() {
 	liveHTTP := flag.String("live-http", "", "serve live stats as JSON on this address (e.g. :8080)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
+	tracePath := flag.String("trace", "", "replay this recorded JSONL request trace (fsreplay experiment)")
 	flag.Parse()
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		exitOn(err)
+		tr, err := workload.ReadTrace(f)
+		f.Close()
+		exitOn(err)
+		replayTrace = tr
+	}
 	exitOn(run(runOpts{
 		quick: *quick, parallel: *parallel,
 		jsonPath: *jsonPath, spansPath: *spansPath,

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kvcluster"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FSReplayRow is one engine's outcome replaying the recorded trace.
+type FSReplayRow struct {
+	Config      string
+	Shards      int
+	TraceRows   int
+	OfferedPerS float64
+	GoodputPerS float64
+	SLOPct      float64
+	ShedPct     float64
+	P50         float64 // msec
+	P99         float64 // msec
+}
+
+// FSReplayResult is the trace-replay experiment.
+type FSReplayResult struct {
+	SLOms  float64
+	Source string // "-trace file" or "synthetic"
+	Rows   []FSReplayRow
+}
+
+// FSReplay replays a recorded request stream (workload.Traffic.Replay)
+// through the fs-backed KV service instead of the synthetic generators:
+// arrival instants, op classes and keys all come from the trace, wrapped
+// cyclically to fill the measured window with its mean rate preserved. The
+// sweep compares the barrier-enabled stack against the flush-based
+// baseline under the *same recorded arrivals* — the replay answers "what
+// would this exact workload have seen", where the synthetic sweeps answer
+// "what does a workload of this shape see". trace may be nil: a
+// deterministic synthetic recording stands in so the replay path stays
+// exercised without external inputs.
+func FSReplay(scale Scale, trace *workload.Trace) FSReplayResult {
+	source := "recorded trace"
+	if trace == nil || len(trace.Rows) == 0 {
+		trace = workload.SyntheticTrace(scale.n(2000, 12000), 50_000, 41)
+		source = "synthetic"
+	}
+	shards := scale.n(2, 4)
+	dur := scale.dur(10*sim.Millisecond, 40*sim.Millisecond)
+	slo := 2 * sim.Millisecond
+	engines := []func(device.Config) core.Profile{core.EXT4DR, core.BFSDR}
+
+	out := FSReplayResult{SLOms: float64(slo) / float64(sim.Millisecond), Source: source}
+	out.Rows = make([]FSReplayRow, len(engines))
+	par.For(len(engines), func(i int) {
+		cfg := kvcluster.Config{
+			Shards:  shards,
+			Profile: engines[i],
+			SLO:     slo,
+			NewKernel: func(label string) *sim.Kernel {
+				return newKernel(label + "/replay")
+			},
+		}
+		tr := kvcluster.Traffic{
+			Replay:   trace,
+			Tenants:  2,
+			Warmup:   4 * sim.Millisecond,
+			Duration: dur,
+		}
+		res := kvcluster.Run(cfg, tr)
+		shedPct := 0.0
+		if res.Offered > 0 {
+			shedPct = 100 * float64(res.Shed) / float64(res.Offered)
+		}
+		out.Rows[i] = FSReplayRow{
+			Config: res.Engine, Shards: res.Shards, TraceRows: len(trace.Rows),
+			OfferedPerS: res.OfferedPerS, GoodputPerS: res.GoodputPerS,
+			SLOPct: res.SLOPct, ShedPct: shedPct,
+			P50: res.Latency.Median, P99: res.Latency.P99,
+		}
+	})
+	return out
+}
+
+func (r FSReplayResult) String() string {
+	t := newTable(fmt.Sprintf("fsreplay: trace replay through the fs-backed KV service (%s, SLO %.1fms)", r.Source, r.SLOms))
+	t.row("%-10s %6s %9s %9s %11s %7s %6s %8s %8s",
+		"config", "shards", "rows", "offered/s", "goodput/s", "slo%", "shed%", "p50ms", "p99ms")
+	for _, row := range r.Rows {
+		t.row("%-10s %6d %9d %9.0f %11.0f %6.1f%% %5.1f%% %8.3f %8.3f",
+			row.Config, row.Shards, row.TraceRows,
+			row.OfferedPerS, row.GoodputPerS, row.SLOPct, row.ShedPct, row.P50, row.P99)
+	}
+	return t.String()
+}

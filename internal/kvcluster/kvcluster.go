@@ -195,6 +195,7 @@ func (r Result) Report() string {
 // latSample is one measured-window completion.
 type latSample struct {
 	tenant int
+	at     sim.Time // request arrival (zero unless the runner bins timelines)
 	d      sim.Duration
 	good   bool
 }

@@ -59,6 +59,8 @@ type ReplicaConfig struct {
 	// of retried on replicas — graceful degradation under a sick shard
 	// instead of retry storms. 0 means unlimited.
 	TenantFailovers int64
+	// Migrate bounds live-rebalancing copy bandwidth (see MigrateConfig).
+	Migrate MigrateConfig
 	// Metrics is an explicit observability registry; nil falls back to the
 	// process-wide live registry.
 	Metrics *metrics.Registry
@@ -91,18 +93,22 @@ func (c ReplicaConfig) withDefaults() ReplicaConfig {
 
 // ClusterStats are cumulative replicated-cluster statistics.
 type ClusterStats struct {
-	Writes        int64 // acknowledged write operations
-	ReplicaWrites int64 // per-replica commits those writes fanned into
-	Reads         int64
-	Failovers     int64 // reads redirected past a dead/erroring replica
-	ReadRepairs   int64 // async re-puts priming a replica that failed a read
-	HedgedReads   int64 // secondary reads fired by the hedge timer
-	DegradedSheds int64 // reads shed by an exhausted tenant failover budget
-	Unavailable   int64 // operations with no live replica
+	Writes         int64 // acknowledged write operations
+	ReplicaWrites  int64 // per-replica commits those writes fanned into
+	Reads          int64
+	Failovers      int64 // reads redirected past a dead/erroring replica
+	ReadRepairs    int64 // async re-puts priming a replica that failed a read
+	HedgedReads    int64 // secondary reads fired by the hedge timer
+	DegradedSheds  int64 // reads shed by an exhausted tenant failover budget
+	DegradedWrites int64 // writes committed on fewer than R live replicas
+	Unavailable    int64 // operations with no live replica
 }
 
 type clusterObs struct {
 	failovers, repairs, hedged, shed, repWrites *metrics.Counter
+	// rebalance counters/gauge (kvcluster/rebalance/*)
+	rebKeys, rebDual, rebCutovers, rebAborts, rebSkipped *metrics.Counter
+	rebRanges                                            *metrics.Gauge
 }
 
 // node is one shard: a full stack plus its store and liveness mark.
@@ -120,6 +126,9 @@ type Cluster struct {
 	ring    *Ring
 	nodes   []*node
 	budgets map[int]int64 // tenant -> failovers consumed
+	mig     *Migration    // active (or failed-and-pinned) migration
+	epoch   int           // bumped when a migration starts
+	wild    map[int]int   // admission epoch -> in-flight writes outside any migrating range
 	stats   ClusterStats
 	obs     clusterObs
 }
@@ -133,33 +142,80 @@ func OpenCluster(p *sim.Proc, cfg ReplicaConfig) (*Cluster, error) {
 		k: p.Kernel(), cfg: cfg,
 		ring:    NewRing(cfg.Shards, cfg.VNodes),
 		budgets: make(map[int]int64),
+		wild:    make(map[int]int),
 	}
 	if reg := metrics.Resolve(cfg.Metrics); reg != nil {
 		c.obs = clusterObs{
-			failovers: reg.Counter("kvcluster/failovers"),
-			repairs:   reg.Counter("kvcluster/read.repairs"),
-			hedged:    reg.Counter("kvcluster/hedged.reads"),
-			shed:      reg.Counter("kvcluster/degraded.shed"),
-			repWrites: reg.Counter("kvcluster/replica.writes"),
+			failovers:   reg.Counter("kvcluster/failovers"),
+			repairs:     reg.Counter("kvcluster/read.repairs"),
+			hedged:      reg.Counter("kvcluster/hedged.reads"),
+			shed:        reg.Counter("kvcluster/degraded.shed"),
+			repWrites:   reg.Counter("kvcluster/replica.writes"),
+			rebKeys:     reg.Counter("kvcluster/rebalance/keys.copied"),
+			rebDual:     reg.Counter("kvcluster/rebalance/dual.writes"),
+			rebCutovers: reg.Counter("kvcluster/rebalance/cutovers"),
+			rebAborts:   reg.Counter("kvcluster/rebalance/aborts"),
+			rebSkipped:  reg.Counter("kvcluster/rebalance/copy.skipped"),
+			rebRanges:   reg.Gauge("kvcluster/rebalance/ranges.migrating"),
 		}
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		prof := cfg.Profile(cfg.Device(i))
-		prof.Name = fmt.Sprintf("%s/replica%d", prof.Name, i)
-		if prof.Metrics == nil {
-			prof.Metrics = cfg.Metrics
-		}
-		if prof.Retry == nil {
-			prof.Retry = cfg.Retry
-		}
-		st := core.NewStack(c.k, prof)
-		store, err := kvwal.Open(p, st, cfg.Store)
-		if err != nil {
+		if err := c.addNode(p, i); err != nil {
 			return nil, err
 		}
-		c.nodes = append(c.nodes, &node{stack: st, store: store})
 	}
 	return c, nil
+}
+
+// addNode builds shard i's stack and opens its store: fresh cluster setup,
+// Resize growth, and ReplaceShard rebuilds all land here. An index inside
+// the current node list replaces that slot (the old stack is abandoned);
+// the index one past the end appends.
+func (c *Cluster) addNode(p *sim.Proc, i int) error {
+	prof := c.cfg.Profile(c.cfg.Device(i))
+	prof.Name = fmt.Sprintf("%s/replica%d", prof.Name, i)
+	if prof.Metrics == nil {
+		prof.Metrics = c.cfg.Metrics
+	}
+	if prof.Retry == nil {
+		prof.Retry = c.cfg.Retry
+	}
+	st := core.NewStack(c.k, prof)
+	store, err := kvwal.Open(p, st, c.cfg.Store)
+	if err != nil {
+		return err
+	}
+	if i < len(c.nodes) {
+		c.nodes[i] = &node{stack: st, store: store}
+	} else {
+		c.nodes = append(c.nodes, &node{stack: st, store: store})
+	}
+	return nil
+}
+
+// wildDone retires one untracked in-flight write admitted at epoch.
+func (c *Cluster) wildDone(epoch int) {
+	if c.wild[epoch]--; c.wild[epoch] <= 0 {
+		delete(c.wild, epoch)
+	}
+}
+
+// wildBefore counts untracked writes still in flight that were admitted
+// before the given epoch — the only writes a migration started at that
+// epoch could have missed both in its snapshot and in its tracking.
+func (c *Cluster) wildBefore(epoch int) int {
+	n := 0
+	for e, cnt := range c.wild {
+		if e < epoch {
+			n += cnt
+		}
+	}
+	return n
+}
+
+// downFn adapts node liveness for the ring's ShardsForUp walks.
+func (c *Cluster) downFn() func(int) bool {
+	return func(s int) bool { return c.nodes[s].down }
 }
 
 // Stats returns cumulative statistics.
@@ -202,8 +258,51 @@ func (c *Cluster) DeleteT(p *sim.Proc, tenant int, key string) error {
 	return c.applyT(p, tenant, kvwal.Op{Kind: kvwal.Delete, Key: key})
 }
 
+// ownersForWrite resolves a key's write set. Under an active migration the
+// containing range's state decides: Copying routes old-only (the key is
+// tracked for catch-up), CatchUp and Cutover dual-write old+new, Done
+// routes new-only, Aborted keeps the old owners. Outside a migration the
+// live-filtered ring successor list applies — a down shard promotes the
+// next distinct owner, capping replication to the live set instead of
+// misrouting (mass failure hits the degraded counters, not a panic).
+func (c *Cluster) ownersForWrite(key string) (owners []int, rm *rangeMig, dual bool) {
+	if c.mig != nil {
+		if r := c.mig.rangeOf(key); r != nil {
+			switch r.state {
+			case MigCopying:
+				return r.mv.Old, r, false
+			case MigCatchUp, MigCutover:
+				return unionInts(r.mv.Old, r.mv.New), r, true
+			case MigDone:
+				return r.mv.New, nil, false
+			default: // MigAborted
+				return r.mv.Old, nil, false
+			}
+		}
+	}
+	return c.ring.ShardsForUp(key, c.cfg.Replicas, c.downFn()), nil, false
+}
+
 func (c *Cluster) applyT(p *sim.Proc, tenant int, op kvwal.Op) error {
-	owners := c.ring.ShardsFor(op.Key, c.cfg.Replicas)
+	owners, rm, dual := c.ownersForWrite(op.Key)
+	var gen, epoch int
+	if rm != nil {
+		rm.inflight++
+		gen = rm.gen
+		if dual {
+			rm.dualSeen[op.Key] = true
+			rm.m.stats.DualWrites++
+			c.obs.rebDual.Inc()
+		}
+	} else {
+		// A write admitted outside any migrating range — including every
+		// write still in flight when a migration starts. Those stragglers
+		// may commit after the range snapshot was built, so cutover gates
+		// on the pre-migration epochs of this count and completion
+		// re-resolves the range below.
+		epoch = c.epoch
+		c.wild[epoch]++
+	}
 	// Fan the write out to every live owner first, then wait: the replica
 	// group commits overlap instead of serializing.
 	batches := make([]*kvwal.Batch, 0, len(owners))
@@ -215,11 +314,44 @@ func (c *Cluster) applyT(p *sim.Proc, tenant int, op kvwal.Op) error {
 		batches = append(batches, n.store.ApplyAsync(p.Now(), []kvwal.Op{op}))
 	}
 	if len(batches) == 0 {
+		if rm != nil {
+			rm.inflight--
+		} else {
+			c.wildDone(epoch)
+		}
 		c.stats.Unavailable++
+		c.stats.DegradedWrites++
+		c.obs.shed.Inc()
 		return ErrUnavailable
+	}
+	if len(batches) < c.cfg.Replicas {
+		// Fewer than R live replicas could take the write: committed
+		// degraded rather than refused, and counted.
+		c.stats.DegradedWrites++
+		c.obs.shed.Inc()
 	}
 	for _, b := range batches {
 		b.Wait(p)
+	}
+	if rm != nil {
+		rm.inflight--
+		// Queue the key for catch-up: always for old-only writes, and for
+		// dual-writes whose range retargeted mid-flight (the destination
+		// they fanned to is gone).
+		if (!dual || rm.gen != gen) && (rm.state == MigCopying || rm.state == MigCatchUp) {
+			rm.pending[op.Key] = true
+		}
+	} else {
+		c.wildDone(epoch)
+		// The write may have landed on a range that started migrating after
+		// admission (it was only enqueued, not yet in the memtable, when the
+		// snapshot walked the source) — queue it for catch-up.
+		if c.mig != nil {
+			if r := c.mig.rangeOf(op.Key); r != nil &&
+				(r.state == MigCopying || r.state == MigCatchUp) {
+				r.pending[op.Key] = true
+			}
+		}
 	}
 	c.stats.Writes++
 	c.stats.ReplicaWrites += int64(len(batches))
@@ -234,18 +366,41 @@ func (c *Cluster) Get(p *sim.Proc, key string) (uint64, bool, error) {
 	return c.GetT(p, 0, key)
 }
 
+// ownersForRead resolves a key's read order plus its natural primary (the
+// shard that would serve it with nothing down — serving from anywhere else
+// is a failover). Under an active migration reads stay on the old owners
+// with the new appended as a failover tail until the range cuts over; a
+// cut-over range reads new-first with the old owners as the tail.
+func (c *Cluster) ownersForRead(key string) (owners []int, primary int) {
+	if c.mig != nil {
+		if r := c.mig.rangeOf(key); r != nil {
+			switch r.state {
+			case MigDone:
+				return unionInts(r.mv.New, r.mv.Old), r.mv.New[0]
+			case MigAborted:
+				return r.mv.Old, r.mv.Old[0]
+			default:
+				return unionInts(r.mv.Old, r.mv.New), r.mv.Old[0]
+			}
+		}
+	}
+	owners = c.ring.ShardsForUp(key, c.cfg.Replicas, c.downFn())
+	return owners, c.ring.Shard(key)
+}
+
 // GetT is Get with a tenant tag: the tenant's failover budget throttles
 // how often its reads may be retried on replicas.
 func (c *Cluster) GetT(p *sim.Proc, tenant int, key string) (uint64, bool, error) {
 	c.stats.Reads++
-	owners := c.ring.ShardsFor(key, c.cfg.Replicas)
+	owners, primary := c.ownersForRead(key)
 	var errShards []int
 	var lastErr error
 	for tried, s := range owners {
 		n := c.nodes[s]
-		if tried > 0 || n.down {
-			// Moving past the primary — or serving a key whose primary is
-			// dead — is a failover; charge the tenant's budget.
+		if tried > 0 || n.down || s != primary {
+			// Moving past the first choice — or serving a key away from its
+			// natural primary (dead, or promoted around) — is a failover;
+			// charge the tenant's budget.
 			if !c.chargeFailover(tenant) {
 				return 0, false, lastErrOr(lastErr)
 			}
@@ -264,7 +419,11 @@ func (c *Cluster) GetT(p *sim.Proc, tenant int, key string) (uint64, bool, error
 		}
 		return seq, ok, nil
 	}
+	// No live replica could serve the key (mass failure, or every owner
+	// errored): shed it as degraded rather than panicking or misrouting.
 	c.stats.Unavailable++
+	c.stats.DegradedSheds++
+	c.obs.shed.Inc()
 	return 0, false, lastErrOr(lastErr)
 }
 

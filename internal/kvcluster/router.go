@@ -105,13 +105,18 @@ func (r *Ring) ShardsForUp(key string, n int, down func(int) bool) []int {
 }
 
 func (r *Ring) shardsFor(key string, n int, down func(int) bool) []int {
+	return r.ownersAt(fnv1a(key), n, down)
+}
+
+// ownersAt is the successor walk itself, keyed by ring position instead of
+// key: the n distinct not-down shards owning hash h, primary first.
+func (r *Ring) ownersAt(h uint64, n int, down func(int) bool) []int {
 	if n <= 0 {
 		n = 1
 	}
 	if n > r.shards {
 		n = r.shards
 	}
-	h := fnv1a(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	out := make([]int, 0, n)
 	seen := make(map[int]bool, n)
@@ -122,6 +127,150 @@ func (r *Ring) shardsFor(key string, n int, down func(int) bool) []int {
 		}
 		seen[s] = true
 		out = append(out, s)
+	}
+	return out
+}
+
+// RangeMove is one arc of a migration plan: keys hashing into (Lo, Hi] —
+// wrapping past zero when Lo > Hi — are owned by Old before the move and by
+// New after it. Both lists are primary-first successor lists.
+type RangeMove struct {
+	Lo, Hi uint64
+	Old    []int
+	New    []int
+}
+
+// Contains reports whether hash h falls inside the move's arc.
+func (m RangeMove) Contains(h uint64) bool {
+	if m.Lo < m.Hi {
+		return h > m.Lo && h <= m.Hi
+	}
+	return h > m.Lo || h <= m.Hi // arc wraps past the top of the ring
+}
+
+// Diff computes the migration plan from r to target: the arcs whose n-owner
+// successor list differs between the two rings. Arc boundaries are the union
+// of both rings' points, so within one arc each ring's owner walk is
+// constant; adjacent arcs with identical owner lists are merged, keeping the
+// plan minimal (consistent hashing guarantees most arcs don't move).
+func (r *Ring) Diff(target *Ring, n int) []RangeMove {
+	bounds := make([]uint64, 0, len(r.points)+len(target.points))
+	for _, p := range r.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range target.points {
+		bounds = append(bounds, p.hash)
+	}
+	return planMoves(bounds,
+		func(h uint64) []int { return r.ownersAt(h, n, nil) },
+		func(h uint64) []int { return target.ownersAt(h, n, nil) })
+}
+
+// ReplacePlan is the re-replication plan for rebuilding shard i in place:
+// every arc whose n-owner list contains i, with Old the surviving owners
+// (i skipped, so the next successor is promoted as an extra source) and New
+// the full owner list including the rebuilt i. The ring itself is unchanged.
+func (r *Ring) ReplacePlan(i, n int) []RangeMove {
+	bounds := make([]uint64, 0, len(r.points))
+	for _, p := range r.points {
+		bounds = append(bounds, p.hash)
+	}
+	skip := func(s int) bool { return s == i }
+	var moves []RangeMove
+	for _, mv := range planMoves(bounds,
+		func(h uint64) []int { return r.ownersAt(h, n, skip) },
+		func(h uint64) []int { return r.ownersAt(h, n, nil) }) {
+		if containsInt(mv.New, i) {
+			moves = append(moves, mv)
+		}
+	}
+	return moves
+}
+
+// planMoves walks the arcs delimited by bounds (sorted, deduped here) and
+// emits a RangeMove for each arc where oldAt and newAt disagree, merging
+// adjacent arcs with equal owner lists — including across the zero-wrap.
+func planMoves(bounds []uint64, oldAt, newAt func(uint64) []int) []RangeMove {
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+	if len(bounds) < 2 {
+		return nil
+	}
+	var moves []RangeMove
+	for i, hi := range bounds {
+		lo := bounds[(i+len(bounds)-1)%len(bounds)] // arc (lo, hi], wrapping at i == 0
+		old, new_ := oldAt(hi), newAt(hi)
+		if equalInts(old, new_) {
+			continue
+		}
+		if k := len(moves) - 1; k >= 0 && moves[k].Hi == lo &&
+			equalInts(moves[k].Old, old) && equalInts(moves[k].New, new_) {
+			moves[k].Hi = hi
+			continue
+		}
+		moves = append(moves, RangeMove{Lo: lo, Hi: hi, Old: old, New: new_})
+	}
+	// The wrap arc was emitted first; if the last arc abuts it with the same
+	// owners, fold them into one wrapping move.
+	if len(moves) >= 2 {
+		first, last := &moves[0], &moves[len(moves)-1]
+		if last.Hi == first.Lo && equalInts(first.Old, last.Old) && equalInts(first.New, last.New) {
+			first.Lo = last.Lo
+			moves = moves[:len(moves)-1]
+		}
+	}
+	return moves
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(a []int, v int) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sameMembers reports whether a and b contain the same shard set, order
+// ignored (a pure reorder needs no data movement).
+func sameMembers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !containsInt(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// unionInts appends the members of b not already in a, preserving order.
+func unionInts(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, x := range b {
+		if !containsInt(out, x) {
+			out = append(out, x)
+		}
 	}
 	return out
 }

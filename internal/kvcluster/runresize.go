@@ -1,0 +1,334 @@
+package kvcluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Open-loop traffic runner for live rebalancing: the replicated runner plus
+// a control-plane schedule (kill / resize / replace), a goodput+p99
+// timeline binned before/during/after the migration window, and an
+// acked-write audit — every write the cluster acknowledged during the run
+// must still be readable once the migration lands. Deterministic under the
+// traffic seed like every other runner: two identical runs produce the
+// same migration schedule and the same cells.
+
+// ResizeSpec schedules the control-plane actions of a resize run.
+type ResizeSpec struct {
+	// ResizeAt triggers Cluster.Resize(NewShards) at this instant
+	// (NewShards 0 disables).
+	ResizeAt  sim.Time
+	NewShards int
+	// KillAt kills KillShard at this instant (KillAt 0 disables); ReplaceAt
+	// then triggers ReplaceShard(KillShard) — the kill+rebuild scenario.
+	KillShard int
+	KillAt    sim.Time
+	ReplaceAt sim.Time
+}
+
+// TimelineBin is one slice of the measured window.
+type TimelineBin struct {
+	StartMs, EndMs float64
+	Phase          string // before | during | after
+	Done, Good     int64
+	GoodputPerS    float64
+	P99            float64 // msec
+}
+
+// PhaseAgg aggregates one phase of the run.
+type PhaseAgg struct {
+	Phase       string
+	WindowMs    float64
+	Done, Good  int64
+	GoodputPerS float64
+	P99         float64 // msec
+}
+
+// ResizeResult is RunResize's outcome.
+type ResizeResult struct {
+	Result
+	Timeline  []TimelineBin
+	Phases    []PhaseAgg // before, during, after
+	Migration MigrationStats
+	Events    []MigrationEvent
+	Failed    bool    // migration pinned failed (a range had no destination)
+	MigStart  float64 // msec (degraded window start: the kill, if scheduled)
+	MigEnd    float64 // msec
+	AckedKeys int     // acked puts audited at end of run
+	AckedLost int     // acked puts readable from no owner (must be 0)
+}
+
+// PhaseFor returns the named phase aggregate (zero value if absent).
+func (r ResizeResult) PhaseFor(name string) PhaseAgg {
+	for _, ph := range r.Phases {
+		if ph.Phase == name {
+			return ph
+		}
+	}
+	return PhaseAgg{Phase: name}
+}
+
+// RunResize drives a replicated cluster under tr while spec's control-plane
+// schedule plays out, waits for the migration to land, audits every acked
+// write, and reports the timeline in bins slices of the measured window
+// (default 10).
+func RunResize(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Duration,
+	spec ResizeSpec, bins int) ResizeResult {
+	rc = rc.withDefaults()
+	tr = tr.withDefaults()
+	if inflight <= 0 {
+		inflight = 64
+	}
+	if slo <= 0 {
+		slo = 2 * sim.Millisecond
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	reqs := tr.Generate()
+	engine := fmt.Sprintf("%s+r%d", rc.Profile(rc.Device(0)).Name, rc.Replicas)
+
+	k := sim.NewKernel()
+	defer k.Close()
+	out := shardOutcome{}
+	run := &shardRun{}
+	q := sim.NewQueue[Request](k)
+	var cl *Cluster
+	var mig *Migration
+	ready := false
+	ackedPut := make(map[string]bool)
+	ackedDel := make(map[string]bool)
+
+	k.Spawn("kvc/open", func(p *sim.Proc) {
+		c, err := OpenCluster(p, rc)
+		if err != nil {
+			panic(err)
+		}
+		cl = c
+		ready = true
+	})
+	k.Spawn("kvc/control", func(p *sim.Proc) {
+		for !ready {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		if spec.KillAt > 0 {
+			if spec.KillAt > p.Now() {
+				p.Sleep(sim.Duration(spec.KillAt - p.Now()))
+			}
+			cl.KillShard(spec.KillShard)
+		}
+		var err error
+		switch {
+		case spec.NewShards > 0:
+			if spec.ResizeAt > p.Now() {
+				p.Sleep(sim.Duration(spec.ResizeAt - p.Now()))
+			}
+			mig, err = cl.Resize(p, spec.NewShards)
+		case spec.ReplaceAt > 0:
+			if spec.ReplaceAt > p.Now() {
+				p.Sleep(sim.Duration(spec.ReplaceAt - p.Now()))
+			}
+			mig, err = cl.ReplaceShard(p, spec.KillShard)
+		}
+		if err != nil {
+			panic("kvcluster: resize control: " + err.Error())
+		}
+	})
+	k.Spawn("kvc/dispatch", func(p *sim.Proc) {
+		for !ready {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		for _, r := range reqs {
+			if r.At > p.Now() {
+				p.Sleep(sim.Duration(r.At - p.Now()))
+			}
+			if run.outstanding >= inflight {
+				if r.measured(tr) {
+					out.shed++
+				}
+				continue
+			}
+			run.outstanding++
+			if r.measured(tr) {
+				out.admitted++
+			}
+			q.Put(r)
+		}
+		run.dispatched = true
+	})
+	for w := 0; w < inflight; w++ {
+		k.SpawnIdx("kvc/worker", w, func(p *sim.Proc) {
+			for {
+				r, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				var err error
+				switch r.Class {
+				case workload.ClassGet:
+					_, _, err = cl.GetT(p, r.Tenant, r.Key)
+				case workload.ClassDelete:
+					err = cl.DeleteT(p, r.Tenant, r.Key)
+					if err == nil {
+						ackedDel[r.Key] = true
+					}
+				default:
+					err = cl.PutT(p, r.Tenant, r.Key)
+					if err == nil {
+						ackedPut[r.Key] = true
+					}
+				}
+				lat := sim.Duration(p.Now() - r.At)
+				run.outstanding--
+				if r.measured(tr) {
+					out.samples = append(out.samples, latSample{
+						tenant: r.Tenant, at: r.At, d: lat,
+						good: err == nil && lat <= slo,
+					})
+				}
+			}
+		})
+	}
+	drive(k, []*shardRun{run}, sim.Time(tr.Warmup+tr.Duration))
+
+	// Post-run audit: let the migration land, then read back every key with
+	// an acked put and no acked delete. Keys deleted at any point are
+	// excluded — with concurrent workers the put/delete order of a key is
+	// not well-defined, so absence cannot be called a loss.
+	lost := 0
+	k.Spawn("kvc/audit", func(p *sim.Proc) {
+		if mig != nil {
+			mig.Wait(p)
+		}
+		keys := make([]string, 0, len(ackedPut))
+		for key := range ackedPut {
+			if !ackedDel[key] {
+				keys = append(keys, key)
+			}
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if _, ok, err := cl.Get(p, key); err != nil || !ok {
+				lost++
+			}
+		}
+	})
+	k.Run()
+
+	res := ResizeResult{
+		Result: aggregate(Config{Shards: rc.Shards, Mode: Replicated, SLO: slo}.withDefaults(),
+			tr, engine, [][]Request{reqs}, []shardOutcome{out}),
+		AckedLost: lost,
+	}
+	res.Shards = rc.Shards
+	for key := range ackedPut {
+		if !ackedDel[key] {
+			res.AckedKeys++
+		}
+	}
+	var migStart, migEnd sim.Time
+	if mig != nil {
+		res.Migration = mig.Stats()
+		res.Events = mig.Events()
+		res.Failed = mig.Failed()
+		migStart, migEnd = mig.Started(), mig.Finished()
+	}
+	if spec.KillAt > 0 && (migStart == 0 || spec.KillAt < migStart) {
+		// The degraded window opens at the kill, not the rebuild.
+		migStart = spec.KillAt
+	}
+	res.MigStart = ms(migStart)
+	res.MigEnd = ms(migEnd)
+	res.Timeline = binTimeline(out.samples, tr, bins, migStart, migEnd)
+	res.Phases = phaseAggs(res.Timeline)
+	return res
+}
+
+func ms(t sim.Time) float64 { return float64(t) / float64(sim.Millisecond) }
+
+// binTimeline slices the measured window into bins and tags each with its
+// phase relative to the degraded window [migStart, migEnd].
+func binTimeline(samples []latSample, tr Traffic, bins int, migStart, migEnd sim.Time) []TimelineBin {
+	start := sim.Time(tr.Warmup)
+	width := sim.Duration(tr.Duration) / sim.Duration(bins)
+	if width <= 0 {
+		return nil
+	}
+	byBin := make([][]sim.Duration, bins)
+	good := make([]int64, bins)
+	for _, s := range samples {
+		i := int(sim.Duration(s.at-start) / width)
+		if i < 0 || i >= bins {
+			continue
+		}
+		byBin[i] = append(byBin[i], s.d)
+		if s.good {
+			good[i]++
+		}
+	}
+	outBins := make([]TimelineBin, bins)
+	for i := range outBins {
+		lo := start.Add(sim.Duration(i) * width)
+		hi := lo.Add(width)
+		phase := "before"
+		switch {
+		case migStart == 0:
+		case migEnd > 0 && lo >= migEnd:
+			phase = "after"
+		case hi > migStart:
+			phase = "during"
+		}
+		b := TimelineBin{
+			StartMs: ms(lo), EndMs: ms(hi), Phase: phase,
+			Done: int64(len(byBin[i])), Good: good[i],
+		}
+		b.GoodputPerS = float64(good[i]) / (float64(width) / float64(sim.Second))
+		b.P99 = p99ms(byBin[i])
+		outBins[i] = b
+	}
+	return outBins
+}
+
+func p99ms(d []sim.Duration) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Duration(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := (99*len(sorted) + 99) / 100
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return float64(sorted[i-1]) / float64(sim.Millisecond)
+}
+
+// phaseAggs folds the timeline into one aggregate per phase.
+func phaseAggs(tl []TimelineBin) []PhaseAgg {
+	order := []string{"before", "during", "after"}
+	agg := map[string]*PhaseAgg{}
+	for _, name := range order {
+		agg[name] = &PhaseAgg{Phase: name}
+	}
+	for _, b := range tl {
+		a := agg[b.Phase]
+		a.WindowMs += b.EndMs - b.StartMs
+		a.Done += b.Done
+		a.Good += b.Good
+		if b.P99 > a.P99 {
+			// Conservative: a phase's p99 is its worst bin's p99.
+			a.P99 = b.P99
+		}
+	}
+	var out []PhaseAgg
+	for _, name := range order {
+		a := agg[name]
+		if a.WindowMs > 0 {
+			a.GoodputPerS = float64(a.Good) / (a.WindowMs / 1000)
+		}
+		out = append(out, *a)
+	}
+	return out
+}

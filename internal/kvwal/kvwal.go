@@ -116,6 +116,7 @@ type Stats struct {
 	Flushes             int64
 	Compactions         int64
 	CheckpointSyncs     int64 // periodic fdatasyncs on barrier engines
+	Ingests             int64 // bulk-copied segments landed by rebalancing
 	SegmentsLive        int
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -139,4 +140,38 @@ func (tr *Trace) Times(window sim.Duration) []sim.Time {
 // rows cyclically in order, so the mapping is i modulo the trace length.
 func (tr *Trace) Row(i int) TraceRow {
 	return tr.Rows[i%len(tr.Rows)]
+}
+
+// SyntheticTrace fabricates a deterministic recording: n rows at the given
+// mean rate with exponential inter-arrival gaps, a fixed 50/45/5
+// get/put/delete mix, and a compact uniform key universe (n/4 keys, so
+// overwrites and deletes recur). It stands in for a real recording wherever
+// trace replay is wired but no -trace file was supplied, keeping the replay
+// path exercised end to end with zero external inputs.
+func SyntheticTrace(n int, ratePerS float64, seed int64) *Trace {
+	if n <= 0 || ratePerS <= 0 {
+		return &Trace{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gap := float64(sim.Second) / ratePerS
+	keys := n / 4
+	if keys < 16 {
+		keys = 16
+	}
+	tr := &Trace{Rows: make([]TraceRow, 0, n)}
+	t := sim.Duration(0)
+	for i := 0; i < n; i++ {
+		t += sim.Duration(rng.ExpFloat64() * gap)
+		op := ClassPut
+		switch r := rng.Float64(); {
+		case r < 0.50:
+			op = ClassGet
+		case r < 0.55:
+			op = ClassDelete
+		}
+		tr.Rows = append(tr.Rows, TraceRow{
+			T: t, Op: op, Key: fmt.Sprintf("t%07d", rng.Intn(keys)), Size: 4096,
+		})
+	}
+	return tr
 }
