@@ -171,6 +171,19 @@ func kvclusterJSON(r experiments.KVClusterResult) []map[string]any {
 	return rows
 }
 
+func whyslowJSON(r experiments.WhySlowResult) []map[string]any {
+	rows := make([]map[string]any, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, map[string]any{
+			"config": row.Config, "offered_kops": row.OfferedKops,
+			"level": row.Level, "stage": row.Stage,
+			"mean_ms": row.MeanMs, "p50_ms": row.P50Ms, "p99_ms": row.P99Ms,
+			"share_pct": row.SharePct, "exemplars": row.Exemplars,
+		})
+	}
+	return rows
+}
+
 func faultsJSON(r experiments.FaultsResult) []map[string]any {
 	rows := make([]map[string]any, 0, len(r.Rows))
 	for _, row := range r.Rows {

@@ -10,8 +10,8 @@
 //	repro trend  [-db bench.db] [-cell GLOB] [-last N] [-band]
 //
 // Experiments: fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1
-// mq kv kvcluster faults crash crashmc rebalance fsreplay all. With no
-// arguments, runs `all`. The
+// mq kv kvcluster faults whyslow crash crashmc rebalance fsreplay all. With
+// no arguments, runs `all`. The
 // `mq` experiment is the multi-queue scaling table (per-stream epochs vs
 // the global total order) added on top of the paper's evaluation; `kv` is
 // the barrier-enabled key-value store (internal/kvwal): group-commit
@@ -21,7 +21,10 @@
 // offered-load) cell at a fixed p99 SLO; `faults` drives the replicated
 // cluster through seeded device fault personalities (media errors, GC
 // interference) and reports goodput with retry/failover counters;
-// `crashmc` is the crash-state
+// `whyslow` runs the service with request-scoped causal tracing on and
+// attributes tail latency to stack stages (queue, batch, durability, ack,
+// plus the durability window's pipeline sub-stages), per (engine,
+// offered-load) cell; `crashmc` is the crash-state
 // model checker (internal/crashmc): states-explored and violation counts
 // per stack configuration, with EXT4-nobarrier's reachable ordering
 // violations as the positive control; `rebalance` resizes the live ring
@@ -125,6 +128,10 @@ var runners = []runner{
 	{"faults", func(s experiments.Scale) (string, []map[string]any) {
 		r := experiments.Faults(s)
 		return r.String(), faultsJSON(r)
+	}},
+	{"whyslow", func(s experiments.Scale) (string, []map[string]any) {
+		r := experiments.WhySlow(s)
+		return r.String(), whyslowJSON(r)
 	}},
 	{"crash", func(s experiments.Scale) (string, []map[string]any) {
 		return crashReport(s)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/device"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -321,9 +322,13 @@ func (m *MQ) SubmitAndWait(p *sim.Proc, r *block.Request) {
 // it. The device flushes its whole cache regardless of stream, so pages a
 // caller transferred (and waited for) on any stream are covered. The
 // request is pooled: after SubmitAndWait returns nothing else can hold it.
-func (m *MQ) Flush(p *sim.Proc) {
+func (m *MQ) Flush(p *sim.Proc) { m.FlushT(p, reqtrace.Ctx{}) }
+
+// FlushT is Flush with a trace context attached to the flush request.
+func (m *MQ) FlushT(p *sim.Proc, tc reqtrace.Ctx) {
 	r := m.flushes.Get()
 	r.Op = block.OpFlush
+	r.Trace = tc
 	m.SubmitAndWait(p, r)
 	m.flushes.Put(r)
 }
@@ -375,6 +380,7 @@ func (m *MQ) dispatcher(h *hwQueue) func(p *sim.Proc) {
 					Epoch: r.Epoch(), Stream: r.Stream, HWQueue: h.id,
 				})
 			}
+			r.Trace.StampChain(reqtrace.StageBlockDispatch, p.Now())
 			cmd := m.cmds.Get(r)
 			var trailer *device.Command
 			if m.cfg.BarrierAsCommand && cmd.Kind == device.CmdWrite && cmd.Barrier {

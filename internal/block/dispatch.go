@@ -3,6 +3,7 @@ package block
 import (
 	"repro/internal/device"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -53,6 +54,10 @@ type Submitter interface {
 	SubmitAndWait(p *sim.Proc, r *Request)
 	// Flush issues a standalone cache flush and waits for it.
 	Flush(p *sim.Proc)
+	// FlushT is Flush carrying a trace context: the flush command's
+	// completion is the real durability point on transfer-and-flush
+	// stacks, so the context rides it into the device.
+	FlushT(p *sim.Proc, tc reqtrace.Ctx)
 	// SubmitOrPark is the handler analogue of Submit — one congestion Mesa
 	// iteration: it either admits r (true) or parks the run-to-completion
 	// handler h on the congestion condition exactly where Submit would have
@@ -165,9 +170,13 @@ func (l *Layer) SubmitAndWait(p *sim.Proc, r *Request) {
 
 // Flush issues a standalone cache-flush request and waits for it. The
 // request is pooled: after SubmitAndWait returns nothing else can hold it.
-func (l *Layer) Flush(p *sim.Proc) {
+func (l *Layer) Flush(p *sim.Proc) { l.FlushT(p, reqtrace.Ctx{}) }
+
+// FlushT is Flush with a trace context attached to the flush request.
+func (l *Layer) FlushT(p *sim.Proc, tc reqtrace.Ctx) {
 	r := l.flushes.Get()
 	r.Op = OpFlush
+	r.Trace = tc
 	l.SubmitAndWait(p, r)
 	l.flushes.Put(r)
 }
@@ -199,6 +208,7 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 				Stream: r.Stream,
 			})
 		}
+		r.Trace.StampChain(reqtrace.StageBlockDispatch, p.Now())
 		cmd := l.cmds.Get(r)
 		var trailer *device.Command
 		if l.cfg.BarrierAsCommand && cmd.Kind == device.CmdWrite && cmd.Barrier {
@@ -243,6 +253,7 @@ func (r *Request) ToCommand(done func(at sim.Time, r *Request)) *device.Command 
 		LPA:    r.LPA,
 		Data:   r.Data,
 		Stream: r.Stream,
+		Trace:  r.Trace,
 		Done: func(at sim.Time, cc *device.Command) {
 			r.Err = cc.Err // one-shot path: no retry, straight propagation
 			r.complete(at)

@@ -47,6 +47,7 @@ func (pl *CmdPool) Get(r *Request) *device.Command {
 	c.r = r
 	cmd := &c.cmd
 	cmd.LPA, cmd.Data, cmd.Stream = r.LPA, r.Data, r.Stream
+	cmd.Trace = r.Trace
 	cmd.Kind, cmd.Prio = device.CmdWrite, device.PrioSimple
 	cmd.FUA, cmd.PreFlush, cmd.Barrier = false, false, false
 	switch r.Op {

@@ -7,6 +7,7 @@
 package block
 
 import (
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -77,6 +78,13 @@ type Request struct {
 	// ordering on it.
 	Stream uint64
 
+	// Trace is the request-scoped causal trace context (zero: tracing
+	// off). The layer stamps StageBlockQueue at Bind and
+	// StageBlockDispatch when the dispatcher hands the request to the
+	// device; the context rides into the device command so service
+	// start/done land on the same trace.
+	Trace reqtrace.Ctx
+
 	// OnComplete, if set, fires at IO completion (interrupt context: it must
 	// not block; use it to Resume waiting processes or tally counters).
 	OnComplete func(at sim.Time, r *Request)
@@ -140,6 +148,7 @@ func (r *Request) Bind(k *sim.Kernel, at sim.Time) {
 	r.issued = at
 	r.Err = nil
 	r.attempts = 0
+	r.Trace.StampChain(reqtrace.StageBlockQueue, at)
 }
 
 // Wait blocks the calling process until the request completes. This is the

@@ -1,6 +1,9 @@
 package device
 
-import "repro/internal/sim"
+import (
+	"repro/internal/reqtrace"
+	"repro/internal/sim"
+)
 
 // CmdKind selects the command operation.
 type CmdKind int
@@ -87,6 +90,11 @@ type Command struct {
 	// it — transient program failures are retried inside the chip. Submit
 	// resets it, so pooled commands can be reused without clearing.
 	Err error
+
+	// Trace is the request-scoped causal trace context carried down from
+	// the block layer (zero: tracing off). The device stamps
+	// StageDevStart at service start and StageDevDone at completion.
+	Trace reqtrace.Ctx
 
 	// Done fires at host interrupt time when the command completes. For
 	// reads, Data carries the result.

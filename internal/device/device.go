@@ -7,6 +7,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/nand"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -395,6 +396,7 @@ func (d *Device) service(p *sim.Proc, c *Command) {
 	if d.dead {
 		return
 	}
+	c.Trace.StampChain(reqtrace.StageDevStart, p.Now())
 	switch c.Kind {
 	case CmdFlush:
 		d.stats.Flushes++
@@ -573,6 +575,7 @@ func (d *Device) complete(p *sim.Proc, c *Command) {
 	if d.k.Spans() != nil {
 		d.k.SpanEnd("device", cmdSpanName(c), c.seq)
 	}
+	c.Trace.StampChain(reqtrace.StageDevDone, p.Now())
 	d.spaceCond.Broadcast()
 	d.pickCond.SignalN(len(d.queued))
 	if c.Done != nil {

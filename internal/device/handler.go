@@ -2,6 +2,7 @@ package device
 
 import (
 	"repro/internal/ftl"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -116,6 +117,7 @@ func (d *Device) workerStep(h *sim.Proc, w *workerSM) {
 				continue
 			}
 			c := w.c
+			c.Trace.StampChain(reqtrace.StageDevStart, h.Now())
 			switch c.Kind {
 			case CmdFlush:
 				d.stats.Flushes++

@@ -127,6 +127,9 @@ func Faults(scale Scale) FaultsResult {
 			Store:   store,
 			Retry:   &pol,
 			Metrics: reg,
+			NewKernel: func(label string) *sim.Kernel {
+				return newKernel(fmt.Sprintf("%s/%s", label, mix.name))
+			},
 		}
 		tr := kvcluster.Traffic{
 			Arrivals: workload.ArrivalConfig{

@@ -73,6 +73,9 @@ func Rebalance(scale Scale) RebalanceResult {
 			Profile:  profFn,
 			Store:    store,
 			Metrics:  reg,
+			NewKernel: func(label string) *sim.Kernel {
+				return newKernel(fmt.Sprintf("%s/%s", label, scenario))
+			},
 		}
 		tr := kvcluster.Traffic{
 			Arrivals: workload.ArrivalConfig{

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/kvcluster"
+	"repro/internal/reqtrace"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestWhySlowAttribution is the tracing subsystem's accounting acceptance:
+// (a) the top-level stage attribution of every sampled exemplar sums to
+// exactly its end-to-end latency, and the durability sub-stages sum to
+// exactly the durability segment; (b) on the same workload the barrier
+// engine attributes less time to the durability-wait stage than EXT4 —
+// the paper's mechanism, visible in the attribution itself.
+func TestWhySlowAttribution(t *testing.T) {
+	run := func(prof func(device.Config) core.Profile) kvcluster.Result {
+		cfg := kvcluster.Config{
+			Shards:  2,
+			Profile: prof,
+			SLO:     2 * sim.Millisecond,
+			Trace:   &reqtrace.Config{Uniform: 8, TopK: 4},
+		}
+		tr := kvcluster.Traffic{
+			Arrivals: workload.ArrivalConfig{
+				Kind: workload.ArrivalPoisson, RatePerS: 60_000, Seed: 7,
+			},
+			Mix:      workload.Mix{ReadPct: 20, DeletePct: 10},
+			KeySpace: 4096,
+			Warmup:   3 * sim.Millisecond,
+			Duration: 8 * sim.Millisecond,
+		}
+		return kvcluster.Run(cfg, tr)
+	}
+
+	meanDur := map[string]float64{}
+	for _, prof := range []func(device.Config) core.Profile{core.EXT4DR, core.BFSDR} {
+		res := run(prof)
+		if len(res.Exemplars) == 0 {
+			t.Fatalf("%s: no exemplars sampled", res.Engine)
+		}
+		var durSum float64
+		for _, e := range res.Exemplars {
+			top := reqtrace.AttributeTop(e)
+			var tot sim.Duration
+			for _, v := range top {
+				if v < 0 {
+					t.Fatalf("%s: negative top segment %v", res.Engine, top)
+				}
+				tot += v
+			}
+			if tot != e.Total {
+				t.Fatalf("%s: top attribution sums to %v, end-to-end is %v (stamps %v mask %b)",
+					res.Engine, tot, e.Total, e.Stamps, e.Mask)
+			}
+			sub := reqtrace.AttributeSub(e)
+			var subTot sim.Duration
+			for _, v := range sub {
+				if v < 0 {
+					t.Fatalf("%s: negative sub segment %v", res.Engine, sub)
+				}
+				subTot += v
+			}
+			if subTot != top[reqtrace.TopDurability] {
+				t.Fatalf("%s: sub attribution sums to %v, durability segment is %v",
+					res.Engine, subTot, top[reqtrace.TopDurability])
+			}
+			durSum += float64(top[reqtrace.TopDurability])
+		}
+		meanDur[res.Engine] = durSum / float64(len(res.Exemplars))
+		t.Logf("%s: %d exemplars, mean durability %.4fms", res.Engine,
+			len(res.Exemplars), meanDur[res.Engine]/float64(sim.Millisecond))
+	}
+
+	if meanDur["BFS-DR"] >= meanDur["EXT4-DR"] {
+		t.Fatalf("barrier engine should attribute less durability-wait time: BFS-DR %.4fms >= EXT4-DR %.4fms",
+			meanDur["BFS-DR"]/float64(sim.Millisecond), meanDur["EXT4-DR"]/float64(sim.Millisecond))
+	}
+}
+
+// TestWhySlowQuick exercises the experiment wrapper itself: rows exist for
+// both levels, and each (config, level) group's shares account for the
+// whole (they sum to ~100% when any time was attributed at all).
+func TestWhySlowQuick(t *testing.T) {
+	r := WhySlow(Quick)
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	shares := map[string]float64{}
+	for _, row := range r.Rows {
+		if row.Exemplars == 0 {
+			t.Fatalf("row %+v has no exemplars", row)
+		}
+		shares[row.Config+"/"+row.Level] += row.SharePct
+	}
+	for k, s := range shares {
+		if s < 99.9 || s > 100.1 {
+			t.Fatalf("%s: shares sum to %.2f%%, want 100%%", k, s)
+		}
+	}
+}

@@ -41,6 +41,18 @@ func TakeSpans() []sim.LabeledSpans {
 // trace-viewer process row per experiment cell.
 func WriteSpans(w io.Writer) error { return sim.WriteChromeTrace(w, TakeSpans()) }
 
+// RecordSpans registers a hand-assembled span trace (sim.NewSpanTrace) in
+// the capture buffer under label, so reconstructed traces — e.g. sampled
+// request-trace exemplars — land in the same Chrome dump as live kernel
+// spans. A no-op while capture is off.
+func RecordSpans(label string, st *sim.SpanTrace) {
+	spanCap.Lock()
+	if spanCap.on {
+		spanCap.traces = append(spanCap.traces, sim.LabeledSpans{Label: label, Spans: st})
+	}
+	spanCap.Unlock()
+}
+
 // newKernel is the choke point every experiment cell builds its kernel
 // through: span capture hooks in here, and the registry attachment rides
 // along in core.NewStack. label names the cell in the span dump.

@@ -3,6 +3,7 @@ package fs
 import (
 	"repro/internal/block"
 	"repro/internal/jbd"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -141,8 +142,10 @@ type writebackPlan struct {
 // writeback turns the file's dirty pages into block requests with the given
 // flags, journaling pages instead when the data-journal mode (or OptFS
 // selective data journaling, for overwrites) applies. The requests are
-// submitted; the caller decides whether to wait.
-func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast bool) writebackPlan {
+// submitted; the caller decides whether to wait. tc, when active, tags each
+// submitted request so the block layer's queue/dispatch stamps land on the
+// originating sync call's trace record.
+func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast bool, tc reqtrace.Ctx) writebackPlan {
 	var plan writebackPlan
 	dirty := i.takeDirty()
 	f.obs.dirtyPages.Add(-int64(len(dirty)))
@@ -170,6 +173,7 @@ func (f *FS) writeback(p *sim.Proc, i *Inode, flags block.Flags, barrierLast boo
 		plan.reqs[len(plan.reqs)-1].Flags |= block.FlagBarrier | block.FlagOrdered
 	}
 	for _, r := range plan.reqs {
+		r.Trace = tc
 		// Ordered mode: the journal must not commit the inode before the
 		// data lands (EXT4's ordered-mode rule).
 		if f.opts.Mode == Ordered && i.MetaPending() {
@@ -261,7 +265,7 @@ func (f *FS) waitCrossStream(p *sim.Proc, i *Inode) {
 // models pdflush-style background writeback (the paper's buffered-write
 // baseline); backpressure comes from the block layer's queue limit.
 func (f *FS) WritebackAsync(p *sim.Proc, i *Inode) []*block.Request {
-	plan := f.writeback(p, i, block.FlagBackground, false)
+	plan := f.writeback(p, i, block.FlagBackground, false, reqtrace.Ctx{})
 	return plan.reqs
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/jbd"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -299,7 +300,7 @@ func (f *FS) pdflush(p *sim.Proc) {
 		// run-to-run nondeterminism into the writeback submission order.
 		for _, i := range f.inodeList {
 			if i.DirtyPages() > 0 {
-				f.writeback(p, i, block.FlagBackground, false)
+				f.writeback(p, i, block.FlagBackground, false, reqtrace.Ctx{})
 				f.stats.PdflushRuns++
 				f.obs.pdflushRuns.Inc()
 			}

@@ -3,6 +3,7 @@ package fs
 import (
 	"repro/internal/block"
 	"repro/internal/jbd"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -39,19 +40,25 @@ func (f *FS) Fsync(p *sim.Proc, i *Inode) {
 	f.cpu(p)
 	f.stats.Fsyncs++
 	defer f.syncSpan("fsync")()
-	f.sync(p, i, i.MetaPending())
+	f.sync(p, i, i.MetaPending(), reqtrace.Ctx{})
 }
 
 // Fdatasync is fsync without the timestamp-only metadata commit: it commits
 // the journal only when block allocation or size changed.
-func (f *FS) Fdatasync(p *sim.Proc, i *Inode) {
+func (f *FS) Fdatasync(p *sim.Proc, i *Inode) { f.FdatasyncT(p, i, reqtrace.Ctx{}) }
+
+// FdatasyncT is Fdatasync carrying a request-trace context: the context
+// rides the data writes, the journal transaction and any flush so the
+// durability window can be attributed stage by stage. A zero context makes
+// this identical to Fdatasync.
+func (f *FS) FdatasyncT(p *sim.Proc, i *Inode, tc reqtrace.Ctx) {
 	f.cpu(p)
 	f.stats.Fdatasyncs++
 	defer f.syncSpan("fdatasync")()
-	f.sync(p, i, i.allocDirty && i.MetaPending())
+	f.sync(p, i, i.allocDirty && i.MetaPending(), tc)
 }
 
-func (f *FS) sync(p *sim.Proc, i *Inode, commitMeta bool) {
+func (f *FS) sync(p *sim.Proc, i *Inode, commitMeta bool, tc reqtrace.Ctx) {
 	// Background writeback that the multi-queue layer moved off stream 0 is
 	// outside the flush/barrier ordering domain: wait on it explicitly.
 	f.waitCrossStream(p, i)
@@ -60,45 +67,45 @@ func (f *FS) sync(p *sim.Proc, i *Inode, commitMeta bool) {
 		if commitMeta {
 			// D as ordered writes — no Wait-on-Transfer. The commit thread's
 			// JD closes the {D, JD} epoch (Eq. 3).
-			f.writeback(p, i, block.FlagOrdered, false)
-			f.j.CommitAndWait(p)
+			f.writeback(p, i, block.FlagOrdered, false, tc)
+			f.j.CommitAndWaitT(p, tc)
 			i.allocDirty = false
 			return
 		}
 		// fdatasync path: D closed by a barrier, then a device flush. If
 		// there is nothing dirty at all, force an (empty) journal commit to
 		// delimit an epoch (§4.2) and wait for it durably.
-		plan := f.writeback(p, i, block.FlagOrdered, true)
+		plan := f.writeback(p, i, block.FlagOrdered, true, tc)
 		if len(plan.reqs) == 0 {
-			t := f.j.CommitOrdering(p, true)
+			t := f.j.CommitOrderingT(p, true, tc)
 			if t != nil {
 				f.j.WaitTxn(p, t)
 			}
 			return
 		}
 		f.waitAll(p, plan)
-		f.layer.Flush(p)
+		f.layer.FlushT(p, tc)
 		f.wake(p)
 	case jbd.ModeOptFS:
-		plan := f.writeback(p, i, 0, false)
+		plan := f.writeback(p, i, 0, false, tc)
 		f.waitAll(p, plan)
 		if commitMeta {
-			f.j.CommitOrdering(p, false)
+			f.j.CommitOrderingT(p, false, tc)
 			i.allocDirty = false
 		}
 		// Durability on OptFS: an explicit flush (dsync-like).
-		f.layer.Flush(p)
+		f.layer.FlushT(p, tc)
 		f.wake(p)
 	default: // JBD2 / EXT4
-		plan := f.writeback(p, i, 0, false)
+		plan := f.writeback(p, i, 0, false, tc)
 		f.waitAll(p, plan) // Wait-on-Transfer (wake-up #1)
 		if commitMeta {
-			f.j.CommitAndWait(p) // transfer-and-flush commit (wake-up #2)
+			f.j.CommitAndWaitT(p, tc) // transfer-and-flush commit (wake-up #2)
 			i.allocDirty = false
 			return
 		}
 		if f.opts.Journal.BarrierMount {
-			f.layer.Flush(p) // wake-up #2
+			f.layer.FlushT(p, tc) // wake-up #2
 			f.wake(p)
 		}
 	}
@@ -116,23 +123,23 @@ func (f *FS) Fbarrier(p *sim.Proc, i *Inode) {
 	switch f.opts.Journal.Mode {
 	case jbd.ModeDual:
 		if i.MetaPending() {
-			f.writeback(p, i, block.FlagOrdered, false)
+			f.writeback(p, i, block.FlagOrdered, false, reqtrace.Ctx{})
 			f.j.CommitOrdering(p, false) // returns at JC dispatch
 			i.allocDirty = false
 			return
 		}
 		// No metadata: serviced as fdatabarrier (usually zero wake-ups).
-		f.fdatabarrierDual(p, i)
+		f.fdatabarrierDual(p, i, reqtrace.Ctx{})
 	case jbd.ModeOptFS:
 		// osync(): ordering via Wait-on-Transfer, no flush.
-		plan := f.writeback(p, i, 0, false)
+		plan := f.writeback(p, i, 0, false, reqtrace.Ctx{})
 		f.waitAll(p, plan)
 		if i.MetaPending() {
 			f.j.CommitOrdering(p, false)
 			i.allocDirty = false
 		}
 	default:
-		f.sync(p, i, i.MetaPending())
+		f.sync(p, i, i.MetaPending(), reqtrace.Ctx{})
 	}
 }
 
@@ -141,33 +148,39 @@ func (f *FS) Fbarrier(p *sim.Proc, i *Inode) {
 // storage analogue of a memory barrier (§4.1). Only meaningful on the
 // Dual-Mode engine; other engines approximate it with their strongest
 // cheap primitive.
-func (f *FS) Fdatabarrier(p *sim.Proc, i *Inode) {
+func (f *FS) Fdatabarrier(p *sim.Proc, i *Inode) { f.FdatabarrierT(p, i, reqtrace.Ctx{}) }
+
+// FdatabarrierT is Fdatabarrier carrying a request-trace context. On the
+// Dual-Mode engine the call returns at dispatch, so the context's
+// device-side stamps land later, when the order-preserving writes are
+// serviced. A zero context makes this identical to Fdatabarrier.
+func (f *FS) FdatabarrierT(p *sim.Proc, i *Inode, tc reqtrace.Ctx) {
 	f.cpu(p)
 	f.stats.Fdatabarriers++
 	defer f.syncSpan("fdatabarrier")()
 	f.waitCrossStream(p, i)
 	switch f.opts.Journal.Mode {
 	case jbd.ModeDual:
-		f.fdatabarrierDual(p, i)
+		f.fdatabarrierDual(p, i, tc)
 	case jbd.ModeOptFS:
 		// osync: write data (Wait-on-Transfer) and commit the journal —
 		// journaled pages (selective data journaling) only reach the device
 		// through the commit.
-		plan := f.writeback(p, i, 0, false)
+		plan := f.writeback(p, i, 0, false, tc)
 		f.waitAll(p, plan)
-		f.j.CommitOrdering(p, false)
+		f.j.CommitOrderingT(p, false, tc)
 	default:
-		f.Fdatasync(p, i)
+		f.FdatasyncT(p, i, tc)
 		f.stats.Fdatasyncs--
 	}
 }
 
-func (f *FS) fdatabarrierDual(p *sim.Proc, i *Inode) {
-	plan := f.writeback(p, i, block.FlagOrdered, true)
+func (f *FS) fdatabarrierDual(p *sim.Proc, i *Inode, tc reqtrace.Ctx) {
+	plan := f.writeback(p, i, block.FlagOrdered, true, tc)
 	if len(plan.reqs) == 0 {
 		// Delimit the epoch through a forced (possibly empty) commit; do
 		// not wait for anything beyond the commit dispatch.
-		f.j.CommitOrdering(p, true)
+		f.j.CommitOrderingT(p, true, tc)
 	}
 }
 
@@ -178,7 +191,7 @@ func (f *FS) SyncFS(p *sim.Proc) {
 	// writeback order — and the whole dispatch trace — nondeterministic.
 	for _, i := range f.inodeList {
 		f.waitCrossStream(p, i)
-		plan := f.writeback(p, i, 0, false)
+		plan := f.writeback(p, i, 0, false, reqtrace.Ctx{})
 		f.waitAll(p, plan)
 	}
 	f.j.CommitAndWait(p)

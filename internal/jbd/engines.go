@@ -2,6 +2,7 @@ package jbd
 
 import (
 	"repro/internal/block"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -120,6 +121,11 @@ func (j *Journal) jbd2Thread(p *sim.Proc) {
 		t.pagesUsed = len(t.frozen) + 2
 		j.reserve(p, t.pagesUsed)
 		jd, jc := j.buildJD(t)
+		t.trace.StampChain(reqtrace.StageJournalDispatch, p.Now())
+		for _, r := range jd {
+			r.Trace = t.trace
+		}
+		jc.Trace = t.trace
 		// JD: write and Wait-on-Transfer.
 		j.submitWaitAll(p, jd)
 		// JC: FLUSH|FUA compresses flush→JC→flush (§2.3); completion means
@@ -184,7 +190,10 @@ func (j *Journal) dualCommitThread(p *sim.Proc) {
 		t.pagesUsed = len(t.frozen) + 2
 		j.reserve(p, t.pagesUsed)
 		jd, jc := j.buildJD(t)
+		t.trace.StampChain(reqtrace.StageJournalDispatch, p.Now())
+		jc.Trace = t.trace
 		for i, r := range jd {
+			r.Trace = t.trace
 			r.Flags |= block.FlagOrdered
 			if i == len(jd)-1 {
 				// The tail of the JD chunk closes the {D, JD} epoch.
@@ -231,7 +240,7 @@ func (j *Journal) dualFlushThread(p *sim.Proc) {
 			continue
 		}
 		if t.wantDurable {
-			j.layer.Flush(p)
+			j.layer.FlushT(p, t.trace)
 			j.wake(p)
 			j.stats.Flushes++
 			// The flush persisted every transfer before it: all transactions
@@ -273,6 +282,11 @@ func (j *Journal) optfsCommitThread(p *sim.Proc) {
 		t.pagesUsed = len(t.frozen) + 2
 		j.reserve(p, t.pagesUsed)
 		jd, jc := j.buildJD(t)
+		t.trace.StampChain(reqtrace.StageJournalDispatch, p.Now())
+		for _, r := range jd {
+			r.Trace = t.trace
+		}
+		jc.Trace = t.trace
 		// OptFS preserves the JD→JC order with Wait-on-Transfer, not
 		// barriers, and never flushes on the commit path.
 		j.submitWaitAll(p, jd)

@@ -20,6 +20,7 @@ package jbd
 import (
 	"repro/internal/block"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -169,9 +170,22 @@ type Txn struct {
 	retired       bool // removed from the committing list (finishTxn ran)
 	pagesUsed     int
 
+	// trace is the causal trace context of the first traced caller that
+	// committed this transaction (the chain head of its group). The
+	// commit engines stamp StageJournalDispatch through it and tag the
+	// JD/JC block requests with it.
+	trace reqtrace.Ctx
+
 	committedWaiters []*sim.Proc
 	durableWaiters   []*sim.Proc
 	k                *sim.Kernel
+}
+
+// attachTrace attaches tc to the transaction, first-wins.
+func (t *Txn) attachTrace(tc reqtrace.Ctx) {
+	if t != nil && !t.trace.Active() {
+		t.trace = tc
+	}
 }
 
 // ID returns the transaction id.
@@ -451,7 +465,12 @@ func (j *Journal) closeRunning(p *sim.Proc, force bool) *Txn {
 // (CommitOrdering) deliberately keep the lazy path: their parked pages ride
 // a later commit, which preserves the deep fbarrier commit pipeline
 // (Fig. 12) at no durability cost.
-func (j *Journal) CommitAndWait(p *sim.Proc) *Txn {
+func (j *Journal) CommitAndWait(p *sim.Proc) *Txn { return j.CommitAndWaitT(p, reqtrace.Ctx{}) }
+
+// CommitAndWaitT is CommitAndWait carrying a trace context; the context is
+// attached to the transaction the caller ends up waiting on (first-wins),
+// so the commit engine's dispatch stamps land on the caller's trace.
+func (j *Journal) CommitAndWaitT(p *sim.Proc, tc reqtrace.Ctx) *Txn {
 	t := j.closeRunning(p, len(j.conflictList) > 0)
 	if t == nil {
 		// Nothing dirty: wait on the newest in-flight transaction, if any,
@@ -461,6 +480,7 @@ func (j *Journal) CommitAndWait(p *sim.Proc) *Txn {
 		}
 		t = j.committing[len(j.committing)-1]
 	}
+	t.attachTrace(tc)
 	t.wantDurable = true
 	j.WaitTxn(p, t)
 	return t
@@ -525,6 +545,12 @@ func (j *Journal) WaitTxn(p *sim.Proc, t *Txn) {
 // dispatched the transaction; in OptFS mode once JD/JC are transferred.
 // force commits an empty transaction as an epoch delimiter.
 func (j *Journal) CommitOrdering(p *sim.Proc, force bool) *Txn {
+	return j.CommitOrderingT(p, force, reqtrace.Ctx{})
+}
+
+// CommitOrderingT is CommitOrdering carrying a trace context (see
+// CommitAndWaitT).
+func (j *Journal) CommitOrderingT(p *sim.Proc, force bool, tc reqtrace.Ctx) *Txn {
 	t := j.closeRunning(p, force)
 	if t == nil {
 		// OptFS: the caller's metadata rides an in-flight commit; osync
@@ -535,6 +561,7 @@ func (j *Journal) CommitOrdering(p *sim.Proc, force bool) *Txn {
 			return nil
 		}
 	}
+	t.attachTrace(tc)
 	for t.state < StateCommitted {
 		t.committedWaiters = append(t.committedWaiters, p)
 		p.Suspend()

@@ -32,6 +32,7 @@ import (
 	"repro/internal/kvwal"
 	"repro/internal/metrics"
 	"repro/internal/par"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -96,6 +97,12 @@ type Config struct {
 	// NewKernel builds the shard kernels (default sim.NewKernel); the
 	// experiment driver injects its span-capturing choke point here.
 	NewKernel func(label string) *sim.Kernel
+	// Trace, when non-nil, samples per-request causal traces: each shard's
+	// dispatcher allocates a context at admission for write-class requests,
+	// the context rides the whole IO stack, and the shard's sampler keeps
+	// tail-biased exemplars (see internal/reqtrace). Nil disables tracing
+	// and compiles to the zero-context no-op paths.
+	Trace *reqtrace.Config
 }
 
 // DefaultConfig returns a cluster of shards BFS-DR stacks.
@@ -170,6 +177,10 @@ type Result struct {
 	Latency     metrics.Summary
 	PerShard    []ShardStats
 	PerTenant   []TenantStats
+	// Exemplars are the sampled request traces (empty unless the run
+	// enabled tracing); TraceDropped counts keeps lost to the sampler cap.
+	Exemplars    []reqtrace.Exemplar
+	TraceDropped int
 }
 
 // Report renders a human-readable SLO report.
@@ -202,18 +213,28 @@ type latSample struct {
 
 // shardOutcome collects one shard's measured-window results.
 type shardOutcome struct {
-	admitted int64
-	shed     int64
-	samples  []latSample
+	admitted  int64
+	shed      int64
+	samples   []latSample
+	exemplars []reqtrace.Exemplar
+	traceLost int
 }
 
 // shardRun is the live handle the drain loop polls.
 type shardRun struct {
 	dispatched  bool
 	outstanding int
+	smp         *reqtrace.Sampler // nil unless the run samples traces
 }
 
 func (s *shardRun) idle() bool { return s.dispatched && s.outstanding == 0 }
+
+// collectTrace drains the shard's kept exemplars into its outcome after the
+// kernel stops (nil-sampler safe).
+func (s *shardRun) collectTrace(out *shardOutcome) {
+	out.exemplars = append(out.exemplars, s.smp.Take()...)
+	out.traceLost += s.smp.Dropped()
+}
 
 // spawnShard wires one shard's daemons into kernel k: an opener, an
 // open-loop dispatcher replaying the shard's arrival slice with
@@ -222,6 +243,11 @@ func (s *shardRun) idle() bool { return s.dispatched && s.outstanding == 0 }
 func spawnShard(k *sim.Kernel, idx int, open func(p *sim.Proc) (*kvwal.Store, error),
 	reqs []Request, cfg Config, tr Traffic, out *shardOutcome) *shardRun {
 	run := &shardRun{}
+	if cfg.Trace != nil {
+		// Per-shard sampler: shards may run on parallel kernels (par.For),
+		// and Admit/Finish must stay on the owning kernel's goroutine.
+		run.smp = reqtrace.NewSampler(*cfg.Trace)
+	}
 	q := sim.NewQueue[Request](k)
 	var st *kvwal.Store
 	ready := false
@@ -265,6 +291,11 @@ func spawnShard(k *sim.Kernel, idx int, open func(p *sim.Proc) (*kvwal.Store, er
 			if r.measured(tr) {
 				out.admitted++
 			}
+			if run.smp != nil && r.Class != workload.ClassGet {
+				// Trace writes only: reads never enter the group-commit and
+				// durability machinery the trace attributes.
+				r.Trace = run.smp.Admit(p.Now())
+			}
 			q.Put(r)
 		}
 		run.dispatched = true
@@ -281,11 +312,12 @@ func spawnShard(k *sim.Kernel, idx int, open func(p *sim.Proc) (*kvwal.Store, er
 				case workload.ClassGet:
 					st.Get(p, r.Key)
 				case workload.ClassDelete:
-					st.DeleteKey(p, r.Key)
+					st.ApplyT(p, []kvwal.Op{{Kind: kvwal.Delete, Key: r.Key}}, r.Trace)
 				default:
-					st.PutKey(p, r.Key)
+					st.ApplyT(p, []kvwal.Op{{Kind: kvwal.Put, Key: r.Key}}, r.Trace)
 				}
 				lat := sim.Duration(p.Now() - r.At)
+				run.smp.Finish(r.Trace, p.Now())
 				run.outstanding--
 				inflight.Dec()
 				if r.measured(tr) {
@@ -359,6 +391,7 @@ func runShardStack(cfg Config, tr Traffic, idx int, reqs []Request,
 		return kvwal.Open(p, s, cfg.Store)
 	}, reqs, cfg, tr, out)
 	drive(k, []*shardRun{run}, end)
+	run.collectTrace(out)
 }
 
 // runMQStreams runs every shard as a filesystem on one shared multi-queue
@@ -395,6 +428,9 @@ func runMQStreams(cfg Config, tr Traffic, parts [][]Request,
 		}, parts[i], cfg, tr, &outs[i])
 	}
 	drive(k, runs, end)
+	for i, run := range runs {
+		run.collectTrace(&outs[i])
+	}
 }
 
 // aggregate folds per-shard outcomes into the cluster result.
@@ -434,6 +470,8 @@ func aggregate(cfg Config, tr Traffic, engine string,
 		res.Shed += out.shed
 		res.Done += int64(len(out.samples))
 		res.Good += good
+		res.Exemplars = append(res.Exemplars, out.exemplars...)
+		res.TraceDropped += out.traceLost
 		res.PerShard = append(res.PerShard, ShardStats{
 			Shard: i, Offered: offered, Admitted: out.admitted,
 			Shed: out.shed, Done: int64(len(out.samples)), Good: good,

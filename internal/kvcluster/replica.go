@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/kvwal"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -64,6 +65,15 @@ type ReplicaConfig struct {
 	// Metrics is an explicit observability registry; nil falls back to the
 	// process-wide live registry.
 	Metrics *metrics.Registry
+	// NewKernel builds the cluster kernel (default sim.NewKernel); the
+	// experiment driver injects its span-capturing choke point here.
+	NewKernel func(label string) *sim.Kernel
+	// Trace, when non-nil, is a caller-owned request-trace sampler: the
+	// replicated runners stamp admission/ack against it and thread each
+	// write's context through the first live replica's store. The cluster
+	// runs in one kernel, so a concurrent observer may Snapshot the sampler
+	// while the run is live. Nil disables tracing.
+	Trace *reqtrace.Sampler
 }
 
 func (c ReplicaConfig) withDefaults() ReplicaConfig {
@@ -87,6 +97,9 @@ func (c ReplicaConfig) withDefaults() ReplicaConfig {
 	}
 	if c.VNodes <= 0 {
 		c.VNodes = 64
+	}
+	if c.NewKernel == nil {
+		c.NewKernel = func(string) *sim.Kernel { return sim.NewKernel() }
 	}
 	return c
 }
@@ -250,12 +263,22 @@ func (c *Cluster) Put(p *sim.Proc, key string) error { return c.PutT(p, 0, key) 
 
 // PutT is Put with a tenant tag (per-tenant accounting).
 func (c *Cluster) PutT(p *sim.Proc, tenant int, key string) error {
-	return c.applyT(p, tenant, kvwal.Op{Kind: kvwal.Put, Key: key})
+	return c.applyTC(p, tenant, kvwal.Op{Kind: kvwal.Put, Key: key}, reqtrace.Ctx{})
 }
 
 // DeleteT submits a tombstone to every live replica.
 func (c *Cluster) DeleteT(p *sim.Proc, tenant int, key string) error {
-	return c.applyT(p, tenant, kvwal.Op{Kind: kvwal.Delete, Key: key})
+	return c.applyTC(p, tenant, kvwal.Op{Kind: kvwal.Delete, Key: key}, reqtrace.Ctx{})
+}
+
+// PutTC is PutT carrying a request-trace context.
+func (c *Cluster) PutTC(p *sim.Proc, tenant int, key string, tc reqtrace.Ctx) error {
+	return c.applyTC(p, tenant, kvwal.Op{Kind: kvwal.Put, Key: key}, tc)
+}
+
+// DeleteTC is DeleteT carrying a request-trace context.
+func (c *Cluster) DeleteTC(p *sim.Proc, tenant int, key string, tc reqtrace.Ctx) error {
+	return c.applyTC(p, tenant, kvwal.Op{Kind: kvwal.Delete, Key: key}, tc)
 }
 
 // ownersForWrite resolves a key's write set. Under an active migration the
@@ -283,7 +306,7 @@ func (c *Cluster) ownersForWrite(key string) (owners []int, rm *rangeMig, dual b
 	return c.ring.ShardsForUp(key, c.cfg.Replicas, c.downFn()), nil, false
 }
 
-func (c *Cluster) applyT(p *sim.Proc, tenant int, op kvwal.Op) error {
+func (c *Cluster) applyTC(p *sim.Proc, tenant int, op kvwal.Op, tc reqtrace.Ctx) error {
 	owners, rm, dual := c.ownersForWrite(op.Key)
 	var gen, epoch int
 	if rm != nil {
@@ -311,7 +334,14 @@ func (c *Cluster) applyT(p *sim.Proc, tenant int, op kvwal.Op) error {
 		if n.down {
 			continue
 		}
-		batches = append(batches, n.store.ApplyAsync(p.Now(), []kvwal.Op{op}))
+		// Only the first live owner carries the trace context: each store's
+		// leader chains the contexts of its own group, so handing one
+		// context to two leaders would cross-link two independent chains.
+		btc := tc
+		if len(batches) > 0 {
+			btc = reqtrace.Ctx{}
+		}
+		batches = append(batches, n.store.ApplyAsyncT(p.Now(), []kvwal.Op{op}, btc))
 	}
 	if len(batches) == 0 {
 		if rm != nil {

@@ -37,7 +37,7 @@ func RunReplicatedKill(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Durat
 	reqs := tr.Generate()
 	engine := fmt.Sprintf("%s+r%d", rc.Profile(rc.Device(0)).Name, rc.Replicas)
 
-	k := sim.NewKernel()
+	k := rc.NewKernel(fmt.Sprintf("kvcluster/%s/replicated", engine))
 	defer k.Close()
 	out := shardOutcome{}
 	run := &shardRun{}
@@ -79,6 +79,11 @@ func RunReplicatedKill(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Durat
 			if r.measured(tr) {
 				out.admitted++
 			}
+			if r.Class != workload.ClassGet {
+				// Trace writes only (nil-sampler safe): reads never touch
+				// the durability machinery the trace attributes.
+				r.Trace = rc.Trace.Admit(p.Now())
+			}
 			q.Put(r)
 		}
 		run.dispatched = true
@@ -95,11 +100,12 @@ func RunReplicatedKill(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Durat
 				case workload.ClassGet:
 					_, _, err = cl.GetT(p, r.Tenant, r.Key)
 				case workload.ClassDelete:
-					err = cl.DeleteT(p, r.Tenant, r.Key)
+					err = cl.DeleteTC(p, r.Tenant, r.Key, r.Trace)
 				default:
-					err = cl.PutT(p, r.Tenant, r.Key)
+					err = cl.PutTC(p, r.Tenant, r.Key, r.Trace)
 				}
 				lat := sim.Duration(p.Now() - r.At)
+				rc.Trace.Finish(r.Trace, p.Now())
 				run.outstanding--
 				if r.measured(tr) {
 					// A failed operation cannot have met its SLO, whatever
@@ -112,6 +118,8 @@ func RunReplicatedKill(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Durat
 		})
 	}
 	drive(k, []*shardRun{run}, sim.Time(tr.Warmup+tr.Duration))
+	out.exemplars = rc.Trace.Take()
+	out.traceLost = rc.Trace.Dropped()
 
 	res := aggregate(Config{Shards: rc.Shards, Mode: Replicated, SLO: slo}.withDefaults(),
 		tr, engine, [][]Request{reqs}, []shardOutcome{out})

@@ -91,7 +91,7 @@ func RunResize(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Duration,
 	reqs := tr.Generate()
 	engine := fmt.Sprintf("%s+r%d", rc.Profile(rc.Device(0)).Name, rc.Replicas)
 
-	k := sim.NewKernel()
+	k := rc.NewKernel(fmt.Sprintf("kvcluster/%s/resize", engine))
 	defer k.Close()
 	out := shardOutcome{}
 	run := &shardRun{}
@@ -155,6 +155,10 @@ func RunResize(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Duration,
 			if r.measured(tr) {
 				out.admitted++
 			}
+			if r.Class != workload.ClassGet {
+				// Trace writes only (nil-sampler safe).
+				r.Trace = rc.Trace.Admit(p.Now())
+			}
 			q.Put(r)
 		}
 		run.dispatched = true
@@ -171,17 +175,18 @@ func RunResize(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Duration,
 				case workload.ClassGet:
 					_, _, err = cl.GetT(p, r.Tenant, r.Key)
 				case workload.ClassDelete:
-					err = cl.DeleteT(p, r.Tenant, r.Key)
+					err = cl.DeleteTC(p, r.Tenant, r.Key, r.Trace)
 					if err == nil {
 						ackedDel[r.Key] = true
 					}
 				default:
-					err = cl.PutT(p, r.Tenant, r.Key)
+					err = cl.PutTC(p, r.Tenant, r.Key, r.Trace)
 					if err == nil {
 						ackedPut[r.Key] = true
 					}
 				}
 				lat := sim.Duration(p.Now() - r.At)
+				rc.Trace.Finish(r.Trace, p.Now())
 				run.outstanding--
 				if r.measured(tr) {
 					out.samples = append(out.samples, latSample{
@@ -217,6 +222,8 @@ func RunResize(rc ReplicaConfig, tr Traffic, inflight int, slo sim.Duration,
 		}
 	})
 	k.Run()
+	out.exemplars = rc.Trace.Take()
+	out.traceLost = rc.Trace.Dropped()
 
 	res := ResizeResult{
 		Result: aggregate(Config{Shards: rc.Shards, Mode: Replicated, SLO: slo}.withDefaults(),

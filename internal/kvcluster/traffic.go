@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -55,12 +56,15 @@ func (t Traffic) withDefaults() Traffic {
 	return t
 }
 
-// Request is one generated client request.
+// Request is one generated client request. Trace is zero in the generated
+// stream; the dispatcher fills it at admission when the run samples
+// request traces.
 type Request struct {
 	At     sim.Time
 	Class  workload.OpClass
 	Key    string
 	Tenant int
+	Trace  reqtrace.Ctx
 }
 
 // measured reports whether the request arrives inside the measuring window.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -29,6 +30,11 @@ type BenchConfig struct {
 	// uniformly — the YCSB-style hot-key regime.
 	ZipfTheta float64
 	Seed      int64
+	// Trace, when non-nil, samples each client batch into a request-trace
+	// exemplar: admitted at batch submission, acked at group-commit return
+	// (see internal/reqtrace). The sampler is caller-owned; drain it with
+	// Take after the run. Nil disables tracing (the benchmark default).
+	Trace *reqtrace.Sampler
 }
 
 // DefaultBenchConfig returns the standard many-client commit workload.
@@ -107,7 +113,9 @@ func Bench(k *sim.Kernel, s *core.Stack, cfg BenchConfig, duration sim.Duration)
 					batch[i] = Op{Kind: kind, Key: key()}
 				}
 				t0 := p.Now()
-				st.Apply(p, batch)
+				tc := cfg.Trace.Admit(t0)
+				st.ApplyT(p, batch, tc)
+				cfg.Trace.Finish(tc, p.Now())
 				if measuring {
 					ops += int64(len(batch))
 					rec.Record(sim.Duration(p.Now() - t0))

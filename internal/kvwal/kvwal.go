@@ -41,6 +41,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/jbd"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -174,7 +175,8 @@ type kvObs struct {
 type batch struct {
 	ops      []Op
 	enqueued sim.Time
-	lastSeq  uint64 // sequence number of the batch's final op, set at commit
+	trace    reqtrace.Ctx // request-trace context (zero when untraced)
+	lastSeq  uint64       // sequence number of the batch's final op, set at commit
 	done     bool
 	waiter   *sim.Proc
 }
@@ -312,6 +314,13 @@ func (st *Store) Apply(p *sim.Proc, ops []Op) uint64 {
 	return st.ApplyAsync(p.Now(), ops).Wait(p)
 }
 
+// ApplyT is Apply carrying a request-trace context: the context records the
+// group-commit enqueue and the leader's durability window so tail latency
+// can be attributed per stage. A zero context makes this identical to Apply.
+func (st *Store) ApplyT(p *sim.Proc, ops []Op, tc reqtrace.Ctx) uint64 {
+	return st.ApplyAsyncT(p.Now(), ops, tc).Wait(p)
+}
+
 // Batch is an in-flight asynchronous submission (ApplyAsync).
 type Batch struct {
 	st *Store
@@ -324,11 +333,19 @@ type Batch struct {
 // the replicas commit in parallel instead of serially (internal/kvcluster's
 // write-both path).
 func (st *Store) ApplyAsync(now sim.Time, ops []Op) *Batch {
-	bt := &Batch{st: st, b: &batch{ops: ops, enqueued: now}}
+	return st.ApplyAsyncT(now, ops, reqtrace.Ctx{})
+}
+
+// ApplyAsyncT is ApplyAsync carrying a request-trace context. The enqueue
+// boundary is stamped here; the group-commit leader stamps the durability
+// window when it drains the batch.
+func (st *Store) ApplyAsyncT(now sim.Time, ops []Op, tc reqtrace.Ctx) *Batch {
+	bt := &Batch{st: st, b: &batch{ops: ops, enqueued: now, trace: tc}}
 	if len(ops) == 0 {
 		bt.b.done = true
 		return bt
 	}
+	tc.Stamp(reqtrace.StageGCEnqueue, now)
 	st.q.Put(bt.b)
 	return bt
 }
@@ -459,14 +476,32 @@ func (st *Store) committer(p *sim.Proc) {
 				st.appendWAL(p, b.ops[i])
 			}
 		}
+		// Chain the group's trace contexts behind one head: the whole group
+		// shares a single durability call, so one set of group-wide stamps
+		// (recorded through the head's chain) describes every traced member.
+		var tch reqtrace.Ctx
+		for _, b := range group {
+			if !b.trace.Active() {
+				continue
+			}
+			if !tch.Active() {
+				tch = b.trace
+			} else {
+				reqtrace.Chain(tch, b.trace)
+			}
+		}
 		// One sync for the whole group: the amortization that makes group
-		// commit worth it.
+		// commit worth it. The DurIssue→DurDone window brackets the leader's
+		// stall — the full transfer-and-flush round trip on fdatasync
+		// engines, dispatch cost only on fdatabarrier engines.
+		tch.StampChain(reqtrace.StageDurIssue, p.Now())
 		if st.barrierCommit {
-			st.fs.Fdatabarrier(p, st.wal)
+			st.fs.FdatabarrierT(p, st.wal, tch)
 			st.groupsSince++
 		} else {
-			st.fs.Fdatasync(p, st.wal)
+			st.fs.FdatasyncT(p, st.wal, tch)
 		}
+		tch.StampChain(reqtrace.StageDurDone, p.Now())
 		st.stats.GroupCommits++
 		st.obs.groupCommits.Inc()
 		st.obs.groupSize.Observe(int64(groupOps))

@@ -115,8 +115,15 @@ func (h *Hist) Max() int64 {
 	return h.max.Load()
 }
 
-// Quantile returns an upper bound on the q-th quantile (0 < q <= 1): the top
-// of the bucket holding the q·count-th observation. 0 with no observations.
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding the q·count-th observation. Bucket i (i >= 1)
+// spans [2^(i-1), 2^i−1] — observations are assumed uniform across it, so the
+// estimate is lo + (hi−lo)·pos/inBucket where pos is the rank's position
+// among the bucket's observations; pos = inBucket recovers the old
+// bucket-top upper bound, so interpolation only tightens the answer. The top
+// is clamped by the observed max (the last bucket is typically occupied far
+// below its power-of-two ceiling). Bucket 0 holds only zeros. 0 with no
+// observations.
 func (h *Hist) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -131,17 +138,23 @@ func (h *Hist) Quantile(q float64) float64 {
 	}
 	var seen int64
 	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
+		inBucket := h.buckets[i].Load()
+		if seen+inBucket >= rank {
 			if i == 0 {
 				return 0
 			}
-			top := float64(uint64(1)<<uint(i)) - 1
-			if m := float64(h.max.Load()); m < top {
-				top = m
+			lo := float64(uint64(1) << uint(i-1))
+			hi := float64(uint64(1)<<uint(i)) - 1
+			if m := float64(h.max.Load()); m < hi {
+				hi = m
 			}
-			return top
+			if hi < lo {
+				return hi
+			}
+			pos := float64(rank - seen)
+			return lo + (hi-lo)*pos/float64(inBucket)
 		}
+		seen += inBucket
 	}
 	return float64(h.max.Load())
 }

@@ -75,6 +75,73 @@ func TestHistObserve(t *testing.T) {
 	}
 }
 
+// Quantile interpolates linearly within a log2 bucket, so a bucket filled
+// uniformly answers interior quantiles close to the true order statistic
+// instead of the bucket's power-of-two ceiling.
+func TestHistQuantileInterpolation(t *testing.T) {
+	h := NewHist("interp")
+	// Fill bucket 7 ([64,127]) exactly: one observation per integer.
+	for v := int64(64); v <= 127; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64 // true order statistic; interpolation must land near it
+	}{
+		{0.25, 79}, {0.5, 95}, {0.75, 111}, {1.0, 127},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 1.0 {
+			t.Errorf("q%.0f = %v, want %v ± 1", tc.q*100, got, tc.want)
+		}
+		if got > 127 || got < 64 {
+			t.Errorf("q%.0f = %v escaped the bucket [64,127]", tc.q*100, got)
+		}
+	}
+}
+
+func TestHistQuantileMaxClamp(t *testing.T) {
+	// A sparsely occupied high bucket: 1000 lives in [512,1023], but the
+	// observed max must cap the interpolation ceiling.
+	h := NewHist("clamp")
+	h.Observe(600)
+	h.Observe(1000)
+	if q := h.Quantile(1); q != 1000 {
+		t.Errorf("q100 = %v, want observed max 1000, not bucket top 1023", q)
+	}
+	if q := h.Quantile(0.5); q < 512 || q > 1000 {
+		t.Errorf("q50 = %v, want within [512, max]", q)
+	}
+}
+
+func TestHistQuantileZeroBucket(t *testing.T) {
+	h := NewHist("zeros")
+	h.Observe(0)
+	h.Observe(0)
+	h.Observe(8)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("q50 = %v, want 0 (bucket 0 holds only zeros)", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Errorf("q100 = %v, want 8", q)
+	}
+}
+
+func TestHistQuantileMonotone(t *testing.T) {
+	h := NewHist("mono")
+	for _, v := range []int64{1, 3, 3, 7, 20, 90, 90, 4000} {
+		h.Observe(v)
+	}
+	prev := -1.0
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("quantile not monotone: q%.2f = %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
 func TestSnapshotRows(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("jbd/commits").Add(7)

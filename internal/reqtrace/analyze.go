@@ -1,0 +1,232 @@
+package reqtrace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// The critical-path analyzer attributes each traced request's end-to-end
+// latency to stack stages at two levels.
+//
+// The top level is an exact partition: four segments whose boundaries are
+// admit, gc-enqueue, dur-issue, dur-done, ack. Missing interior
+// boundaries collapse backward onto the next known one and every boundary
+// is clamped into [admit, ack], so the four durations are non-negative
+// and sum to exactly ack-admit for every exemplar — the per-request
+// accounting identity the whyslow table (and its test) rests on.
+//
+// The sub level splits the durability window [dur-issue, dur-done] by the
+// deeper pipeline boundaries (journal dispatch, block queue/dispatch,
+// device service start/done). Those are first-crossing stamps fanned out
+// across the whole group, may land in any order (data writeback races the
+// journal commit), and on barrier stacks the device may complete after the
+// ack — so sub-segments are clamped the same way and inverted ones read as
+// zero. They sum to exactly the durability window.
+
+// TopStage is one segment of the exact top-level latency partition.
+type TopStage uint8
+
+const (
+	// TopQueue: admission -> group-commit enqueue (router + worker queue).
+	TopQueue TopStage = iota
+	// TopBatch: enqueue -> leader issues the durability call (waiting for
+	// the group-commit leader to pick the op up).
+	TopBatch
+	// TopDurability: durability call issued -> returned. Transfer-and-flush
+	// on EXT4; order-only dispatch wait on barrier-enabled stacks — the
+	// stage the paper's argument is about.
+	TopDurability
+	// TopAck: durability return -> client ack (memtable apply + wakeup).
+	TopAck
+
+	// NumTop is the number of top-level segments.
+	NumTop = int(TopAck) + 1
+)
+
+var topNames = [NumTop]string{"queue", "batch", "durability", "ack"}
+
+func (t TopStage) String() string {
+	if int(t) < NumTop {
+		return topNames[t]
+	}
+	return "top?"
+}
+
+// SubStage is one segment of the durability-window split.
+type SubStage uint8
+
+const (
+	// SubPrep: dur-issue -> journal commit dispatched.
+	SubPrep SubStage = iota
+	// SubJournal: journal dispatch -> first block request queued.
+	SubJournal
+	// SubBlockQueue: block queue -> first dispatch to the device.
+	SubBlockQueue
+	// SubDevQueue: block dispatch -> device service start.
+	SubDevQueue
+	// SubDevice: device service start -> last completion seen.
+	SubDevice
+	// SubResidual: last device completion -> durability call returns
+	// (includes flush waits the trace has no finer boundary for).
+	SubResidual
+
+	// NumSub is the number of durability sub-segments.
+	NumSub = int(SubResidual) + 1
+)
+
+var subNames = [NumSub]string{
+	"prep", "journal", "blockq", "devq", "device", "residual",
+}
+
+func (s SubStage) String() string {
+	if int(s) < NumSub {
+		return subNames[s]
+	}
+	return "sub?"
+}
+
+// partition turns interior boundary stamps into monotonic boundaries in
+// [lo, hi]: a missing stamp collapses backward onto the next known
+// boundary, then everything is clamped monotonic. Segment i is
+// b[i+1]-b[i]; segments sum to exactly hi-lo.
+func partition(lo, hi sim.Time, e Exemplar, interior []Stage, b []sim.Time) {
+	if hi < lo {
+		hi = lo
+	}
+	n := len(interior)
+	b[0], b[n+1] = lo, hi
+	for i := n; i >= 1; i-- {
+		if e.Has(interior[i-1]) {
+			b[i] = e.Stamps[interior[i-1]]
+		} else {
+			b[i] = b[i+1]
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if b[i] < b[i-1] {
+			b[i] = b[i-1]
+		}
+		if b[i] > hi {
+			b[i] = hi
+		}
+	}
+}
+
+// AttributeTop splits an exemplar's end-to-end latency across the four
+// top-level stages. The segments always sum to exactly e's ack-admit.
+func AttributeTop(e Exemplar) [NumTop]sim.Duration {
+	var b [NumTop + 1]sim.Time
+	partition(e.Stamps[StageAdmit], e.Stamps[StageAck], e,
+		[]Stage{StageGCEnqueue, StageDurIssue, StageDurDone}, b[:])
+	var d [NumTop]sim.Duration
+	for i := range d {
+		d[i] = sim.Duration(b[i+1] - b[i])
+	}
+	return d
+}
+
+// AttributeSub splits the durability window across the deeper pipeline
+// sub-stages. The segments sum to exactly the TopDurability segment.
+func AttributeSub(e Exemplar) [NumSub]sim.Duration {
+	var tb [NumTop + 1]sim.Time
+	partition(e.Stamps[StageAdmit], e.Stamps[StageAck], e,
+		[]Stage{StageGCEnqueue, StageDurIssue, StageDurDone}, tb[:])
+	lo, hi := tb[2], tb[3] // the clamped durability window
+	var b [NumSub + 1]sim.Time
+	partition(lo, hi, e,
+		[]Stage{StageJournalDispatch, StageBlockQueue, StageBlockDispatch,
+			StageDevStart, StageDevDone}, b[:])
+	var d [NumSub]sim.Duration
+	for i := range d {
+		d[i] = sim.Duration(b[i+1] - b[i])
+	}
+	return d
+}
+
+// StageStat is one row of a whyslow attribution table: the distribution
+// of one stage's attributed time across a set of exemplars, plus its
+// share of the summed end-to-end time.
+type StageStat struct {
+	Stage    string
+	MeanMs   float64
+	P50Ms    float64
+	P99Ms    float64
+	SharePct float64
+}
+
+// AnalyzeTop tabulates the top-level attribution across exemplars.
+func AnalyzeTop(exs []Exemplar) []StageStat {
+	cols := make([][]float64, NumTop)
+	for _, e := range exs {
+		d := AttributeTop(e)
+		for i, v := range d {
+			cols[i] = append(cols[i], float64(v))
+		}
+	}
+	names := make([]string, NumTop)
+	for i := range names {
+		names[i] = TopStage(i).String()
+	}
+	return tabulate(names, cols)
+}
+
+// AnalyzeSub tabulates the durability-window sub-stage attribution.
+func AnalyzeSub(exs []Exemplar) []StageStat {
+	cols := make([][]float64, NumSub)
+	for _, e := range exs {
+		d := AttributeSub(e)
+		for i, v := range d {
+			cols[i] = append(cols[i], float64(v))
+		}
+	}
+	names := make([]string, NumSub)
+	for i := range names {
+		names[i] = SubStage(i).String()
+	}
+	return tabulate(names, cols)
+}
+
+func tabulate(names []string, cols [][]float64) []StageStat {
+	var grand float64
+	for _, c := range cols {
+		for _, v := range c {
+			grand += v
+		}
+	}
+	const ms = float64(sim.Millisecond)
+	out := make([]StageStat, len(cols))
+	for i, c := range cols {
+		var sum float64
+		for _, v := range c {
+			sum += v
+		}
+		sort.Float64s(c)
+		st := StageStat{Stage: names[i]}
+		if n := len(c); n > 0 {
+			st.MeanMs = sum / float64(n) / ms
+			st.P50Ms = quantile(c, 0.50) / ms
+			st.P99Ms = quantile(c, 0.99) / ms
+		}
+		if grand > 0 {
+			st.SharePct = 100 * sum / grand
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// quantile interpolates q in [0,1] over an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}

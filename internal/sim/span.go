@@ -67,6 +67,19 @@ func (k *Kernel) SpanInstant(cat, name string) {
 	k.sp.recs = append(k.sp.recs, spanRec{at: k.now, ph: 'i', cat: cat, name: name})
 }
 
+// NewSpanTrace builds a detached span trace for hand-assembled dumps —
+// e.g. rendering sampled request-trace exemplars as Chrome spans without a
+// kernel to attach to.
+func NewSpanTrace() *SpanTrace { return &SpanTrace{} }
+
+// Append records one event at an explicit virtual time: ph is 'b' (begin),
+// 'e' (end) or 'i' (instant); id correlates begin with end. It serves
+// detached traces whose events are reconstructed after the fact rather
+// than recorded live.
+func (st *SpanTrace) Append(at Time, ph byte, cat, name string, id uint64) {
+	st.recs = append(st.recs, spanRec{at: at, ph: ph, cat: cat, name: name, id: id})
+}
+
 // Len returns the number of recorded span events.
 func (st *SpanTrace) Len() int {
 	if st == nil {
